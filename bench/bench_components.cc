@@ -1,0 +1,217 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the building blocks: tree
+ * geometry, stash eviction selection, label-queue scheduling, MAC
+ * insert/extract, SPECK encryption, the functional Path ORAM access
+ * and the DRAM channel model. These quantify simulator throughput
+ * (host-side cost), not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/label_queue.hh"
+#include "core/merging_cache.hh"
+#include "core/plb.hh"
+#include "crypto/counter_mode.hh"
+#include "dram/dram_system.hh"
+#include "mem/tree_geometry.hh"
+#include "oram/integrity.hh"
+#include "oram/path_oram.hh"
+#include "oram/stash.hh"
+#include "sim/metrics.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+void
+BM_GeometryOverlap(benchmark::State &state)
+{
+    fp::mem::TreeGeometry geo(24);
+    fp::Rng rng(1);
+    fp::LeafLabel a = rng.uniformInt(geo.numLeaves());
+    fp::LeafLabel b = rng.uniformInt(geo.numLeaves());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(geo.overlap(a, b));
+        a = (a + 0x9e37) & (geo.numLeaves() - 1);
+        b = (b + 0x79b9) & (geo.numLeaves() - 1);
+    }
+}
+BENCHMARK(BM_GeometryOverlap);
+
+void
+BM_StashEvictForBucket(benchmark::State &state)
+{
+    fp::mem::TreeGeometry geo(24);
+    fp::oram::Stash stash(geo, 4096);
+    fp::Rng rng(2);
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        stash.insert(fp::mem::Block(
+            i, rng.uniformInt(geo.numLeaves())));
+    }
+    fp::LeafLabel path = rng.uniformInt(geo.numLeaves());
+    for (auto _ : state) {
+        auto evicted = stash.evictForBucket(path, 2, 4);
+        for (auto &blk : evicted)
+            stash.insert(std::move(blk)); // restore
+        benchmark::DoNotOptimize(evicted);
+    }
+}
+BENCHMARK(BM_StashEvictForBucket)->Arg(50)->Arg(200)->Arg(1000);
+
+void
+BM_LabelQueueSelect(benchmark::State &state)
+{
+    fp::mem::TreeGeometry geo(24);
+    const auto q = static_cast<std::size_t>(state.range(0));
+    fp::core::LabelQueue queue(geo, q, 4,
+                               fp::core::DummySelectPolicy::compete,
+                               3);
+    fp::Rng rng(4);
+    for (auto _ : state) {
+        queue.ensureFull();
+        auto sel =
+            queue.selectNext(rng.uniformInt(geo.numLeaves()));
+        benchmark::DoNotOptimize(sel);
+    }
+}
+BENCHMARK(BM_LabelQueueSelect)->Arg(8)->Arg(64)->Arg(128);
+
+void
+BM_MacInsertExtract(benchmark::State &state)
+{
+    fp::mem::TreeGeometry geo(24);
+    fp::core::MergingCacheParams params;
+    params.m1 = 9;
+    params.budgetBytes = 1 << 20;
+    fp::core::MergingAwareCache mac(geo, params);
+    fp::Rng rng(5);
+    for (auto _ : state) {
+        unsigned level = 9 + rng.uniformInt(3);
+        std::uint64_t offset =
+            rng.uniformInt(std::uint64_t{1} << level);
+        fp::BucketIndex idx =
+            ((std::uint64_t{1} << level) - 1) + offset;
+        mac.insert(idx, fp::mem::Bucket(4));
+        benchmark::DoNotOptimize(mac.extract(idx));
+    }
+}
+BENCHMARK(BM_MacInsertExtract);
+
+void
+BM_SpeckEncrypt64B(benchmark::State &state)
+{
+    fp::crypto::CounterModeCipher cipher(7);
+    std::vector<std::uint8_t> block(64, 0x5A);
+    std::uint64_t nonce = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cipher.encrypt(block, ++nonce));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SpeckEncrypt64B);
+
+void
+BM_PathOramAccess(benchmark::State &state)
+{
+    fp::oram::OramParams params;
+    params.leafLevel = static_cast<unsigned>(state.range(0));
+    params.payloadBytes = 0;
+    fp::oram::PathOram oram(params);
+    fp::Rng rng(6);
+    for (auto _ : state)
+        oram.read(rng.uniformInt(4096));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PathOramAccess)->Arg(12)->Arg(18)->Arg(24);
+
+void
+BM_DramTransaction(benchmark::State &state)
+{
+    fp::EventQueue eq;
+    fp::dram::DramSystem dram(fp::dram::DramParams::ddr3_1600(2),
+                              eq);
+    fp::Rng rng(7);
+    for (auto _ : state) {
+        fp::dram::DramRequest req;
+        req.addr = rng.uniformInt(1ULL << 30) & ~63ULL;
+        req.isWrite = rng.chance(0.5);
+        req.bursts = 4;
+        bool done = false;
+        req.onComplete = [&done](fp::Tick) { done = true; };
+        dram.access(std::move(req));
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramTransaction);
+
+void
+BM_MerkleUpdateSlice(benchmark::State &state)
+{
+    fp::mem::TreeGeometry geo(24);
+    fp::oram::MerkleTree tree(geo, 9);
+    fp::Rng rng(8);
+    std::vector<fp::mem::Bucket> slice(geo.numLevels() - 7,
+                                       fp::mem::Bucket(4));
+    for (auto _ : state) {
+        tree.updateSlice(rng.uniformInt(geo.numLeaves()), 7, slice);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MerkleUpdateSlice);
+
+void
+BM_PlbLookup(benchmark::State &state)
+{
+    fp::core::PosmapLookasideBuffer plb(3, 8, 4096);
+    fp::Rng rng(9);
+    for (std::uint64_t a = 0; a < 4096; ++a) {
+        plb.fill(a, 0);
+        plb.fill(a, 1);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            plb.lookupChainStart(rng.uniformInt(8192)));
+    }
+}
+BENCHMARK(BM_PlbLookup);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        fp::EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<fp::Tick>((i * 37) % 997),
+                        [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_JsonRunResult(benchmark::State &state)
+{
+    fp::sim::RunResult r;
+    r.avgLlcLatencyNs = 1234.5;
+    r.realAccesses = 99999;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fp::sim::toJson(r));
+}
+BENCHMARK(BM_JsonRunResult);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

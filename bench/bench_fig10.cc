@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10: average ORAM tree path length and average DRAM latency
+ * per ORAM request, for merging+scheduling vs. traditional Path
+ * ORAM, as the label queue size sweeps 1..128.
+ *
+ * Paper: the baseline length is always 25 (L = 24); with Fork Path
+ * the fetched length falls roughly linearly in log2(queue size), and
+ * DRAM latency falls even faster because row-buffer miss rates drop
+ * with shorter paths.
+ */
+
+#include "core/overlap.hh"
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+    if (!args.has("mixes"))
+        opt.mixes = {"Mix3"}; // intensity-heavy, representative
+
+    banner("Figure 10: path length and DRAM latency vs label queue "
+           "size",
+           "baseline 25 buckets; merging shrinks path ~linearly in "
+           "log2(queue); DRAM latency drops faster than path length");
+
+    auto cfg = baseConfig(opt);
+    mem::TreeGeometry geo(opt.leafLevel);
+
+    auto trad = sim::runMix(sim::withTraditional(cfg), opt.mixes[0]);
+
+    TextTable table("Fig 10 (" + opt.mixes[0] + ", L=" +
+                    std::to_string(opt.leafLevel) + ")");
+    table.setHeader({"config", "path_len", "analytic",
+                     "dram_latency_norm", "row_hit_rate"});
+    table.addRow({"traditional",
+                  TextTable::fmt(trad.avgReadPathLen, 2),
+                  TextTable::fmt(double(geo.numLevels()), 2),
+                  TextTable::fmt(1.0, 3),
+                  TextTable::fmt(trad.rowHitRate(), 3)});
+
+    for (unsigned q : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        auto r = sim::runMix(sim::withMergeOnly(cfg, q),
+                             opt.mixes[0]);
+        // Analytic fetched length: L+1 - E[best-of-q overlap] + 1
+        // (the read starts at the retained level).
+        double analytic = geo.numLevels() -
+                          core::expectedBestOverlap(geo, q);
+        table.addRow(
+            {"merge q=" + std::to_string(q),
+             TextTable::fmt(r.avgReadPathLen, 2),
+             TextTable::fmt(analytic, 2),
+             TextTable::fmt(r.avgDramServiceNs /
+                                trad.avgDramServiceNs,
+                            3),
+             TextTable::fmt(r.rowHitRate(), 3)});
+    }
+    emit(table);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 11: total number of ORAM requests (real + dummy) normalized
+ * to traditional Path ORAM, per Table 2 mix, for label queue sizes
+ * {1, 8, 64, 128}.
+ *
+ * Paper: increases with queue size; moderate for most mixes thanks
+ * to dummy request replacing; > 1.25x for Mix2 (low intensity);
+ * about +5 % on average even at queue 128.
+ */
+
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+
+    banner("Figure 11: normalized total ORAM request count",
+           "average ~1.05x at queue 64-128; worst mixes (low "
+           "intensity, e.g. Mix2) exceed 1.25x");
+
+    auto cfg = baseConfig(opt);
+    const std::vector<unsigned> queues = {1, 8, 64, 128};
+
+    TextTable table("Fig 11 (total requests / traditional)");
+    std::vector<std::string> header = {"mix"};
+    for (unsigned q : queues)
+        header.push_back("q=" + std::to_string(q));
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> ratios(queues.size());
+    for (const auto &mix : opt.mixes) {
+        auto trad = sim::runMix(sim::withTraditional(cfg), mix);
+        double base = static_cast<double>(trad.realAccesses +
+                                          trad.dummyAccesses);
+        std::vector<std::string> row = {mix};
+        for (std::size_t i = 0; i < queues.size(); ++i) {
+            auto r =
+                sim::runMix(sim::withMergeOnly(cfg, queues[i]), mix);
+            double ratio = r.totalAccesses() / base;
+            ratios[i].push_back(ratio);
+            row.push_back(TextTable::fmt(ratio, 3));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg = {"geomean"};
+    for (const auto &series : ratios)
+        avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+    table.addRow(avg);
+    emit(table);
+    return 0;
+}

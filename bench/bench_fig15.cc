@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 15: total energy of the ORAM memory system (external DRAM
+ * plus controller structures) normalized to traditional Path ORAM,
+ * per mix, for the same configurations as Figure 14.
+ *
+ * Paper: ~38 % energy reduction for merge + 1 MB MAC vs traditional,
+ * ~15 % vs 1 MB treetop; external memory dominates the total.
+ */
+
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+
+    banner("Figure 15: normalized ORAM memory-system energy",
+           "merge+1M MAC saves ~38% vs traditional and ~15% vs 1MB "
+           "treetop");
+
+    auto cfg = baseConfig(opt);
+
+    struct Config
+    {
+        std::string name;
+        sim::SimConfig cfg;
+    };
+    const std::vector<Config> configs = {
+        {"merge_only", sim::withMergeOnly(cfg, 64)},
+        {"mac_128K", sim::withMergeMac(cfg, 128 << 10, 64)},
+        {"mac_256K", sim::withMergeMac(cfg, 256 << 10, 64)},
+        {"mac_1M", sim::withMergeMac(cfg, 1 << 20, 64)},
+        {"treetop_1M", sim::withMergeTreetop(cfg, 1 << 20, 64)},
+    };
+
+    TextTable table("Fig 15 (energy / traditional)");
+    std::vector<std::string> header = {"mix", "trad_mJ"};
+    for (const auto &c : configs)
+        header.push_back(c.name);
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> ratios(configs.size());
+    for (const auto &mix : opt.mixes) {
+        auto trad = sim::runMix(sim::withTraditional(cfg), mix);
+        std::vector<std::string> row = {
+            mix, TextTable::fmt(trad.totalEnergyNj() / 1e6, 2)};
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            auto r = sim::runMix(configs[i].cfg, mix);
+            double ratio = r.totalEnergyNj() / trad.totalEnergyNj();
+            ratios[i].push_back(ratio);
+            row.push_back(TextTable::fmt(ratio, 3));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg = {"geomean", "-"};
+    for (const auto &series : ratios)
+        avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+    table.addRow(avg);
+    emit(table);
+    return 0;
+}

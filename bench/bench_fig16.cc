@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 16: in-order vs out-of-order cores. Normalized ORAM latency
+ * (each against its own traditional baseline) for merge-only and
+ * merge + MAC variants, geomean over the mixes.
+ *
+ * Paper: in-order latency is significantly higher because the low
+ * memory intensity forces extra dummy requests at queue 64; a
+ * smaller queue would suit in-order cores better (also shown here).
+ */
+
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+namespace
+{
+
+std::vector<double>
+seriesFor(const BenchOptions &opt, sim::SimConfig cfg,
+          unsigned outstanding)
+{
+    cfg.maxOutstanding = outstanding;
+
+    struct Variant
+    {
+        std::string name;
+        sim::SimConfig cfg;
+    };
+    const std::vector<sim::SimConfig> variants = {
+        sim::withMergeOnly(cfg, 64),
+        sim::withMergeMac(cfg, 128 << 10, 64),
+        sim::withMergeMac(cfg, 1 << 20, 64),
+        sim::withMergeTreetop(cfg, 1 << 20, 64),
+    };
+
+    std::vector<std::vector<double>> ratios(variants.size());
+    for (const auto &mix : opt.mixes) {
+        auto trad_cfg = sim::withTraditional(cfg);
+        trad_cfg.maxOutstanding = outstanding;
+        auto trad = sim::runMix(trad_cfg, mix);
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            auto v = variants[i];
+            v.maxOutstanding = outstanding;
+            auto r = sim::runMix(v, mix);
+            ratios[i].push_back(r.avgLlcLatencyNs /
+                                trad.avgLlcLatencyNs);
+        }
+    }
+    std::vector<double> out;
+    for (const auto &series : ratios)
+        out.push_back(sim::geomean(series));
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+    if (!args.has("mixes"))
+        opt.mixes = {"Mix1", "Mix3", "Mix4", "Mix9"};
+
+    banner("Figure 16: in-order vs out-of-order",
+           "in-order ORAM latency is significantly higher (more "
+           "dummy requests); smaller queues suit in-order");
+
+    auto cfg = baseConfig(opt);
+
+    TextTable table("Fig 16 (latency / own traditional, geomean)");
+    table.setHeader({"core", "merge_only", "mac_128K", "mac_1M",
+                     "treetop_1M"});
+    auto emitRow = [&](const std::string &name,
+                       const std::vector<double> &v) {
+        std::vector<std::string> row = {name};
+        for (double x : v)
+            row.push_back(TextTable::fmt(x, 3));
+        table.addRow(row);
+    };
+    emitRow("out-of-order", seriesFor(opt, cfg, 16));
+    emitRow("in-order", seriesFor(opt, cfg, 1));
+    emit(table);
+
+    // The paper's remark: a smaller queue helps in-order cores.
+    TextTable q("in-order merge-only latency vs queue size");
+    q.setHeader({"queue", "latency/traditional"});
+    auto in_cfg = cfg;
+    in_cfg.maxOutstanding = 1;
+    std::vector<double> trad_lat;
+    for (const auto &mix : opt.mixes) {
+        auto t = sim::withTraditional(in_cfg);
+        trad_lat.push_back(sim::runMix(t, mix).avgLlcLatencyNs);
+    }
+    for (unsigned qs : {4u, 16u, 64u}) {
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < opt.mixes.size(); ++i) {
+            auto r = sim::runMix(sim::withMergeOnly(in_cfg, qs),
+                                 opt.mixes[i]);
+            ratios.push_back(r.avgLlcLatencyNs / trad_lat[i]);
+        }
+        q.addRow({std::to_string(qs),
+                  TextTable::fmt(sim::geomean(ratios), 3)});
+    }
+    emit(q);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 17: sensitivity to (a) thread count 1/2/4/8 and (b) ORAM
+ * capacity 1/4/16/32 GB, reporting Fork Path ORAM latency normalized
+ * to traditional (geomean over generated mixes).
+ *
+ * Paper: (a) more threads -> more memory intensity -> bigger Fork
+ * Path advantage; (b) bigger trees dilute the fixed path-length
+ * reduction, so the advantage degrades moderately.
+ */
+
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+namespace
+{
+
+double
+normalizedLatency(const sim::SimConfig &fork_cfg,
+                  const sim::SimConfig &trad_cfg,
+                  const std::vector<workload::WorkloadProfile> &mix)
+{
+    auto fork = sim::runProfiles(fork_cfg, mix);
+    auto trad = sim::runProfiles(trad_cfg, mix);
+    return fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+    const unsigned mixes_per_point =
+        static_cast<unsigned>(args.getInt("samples", 3));
+
+    banner("Figure 17: thread count and ORAM size sensitivity",
+           "(a) advantage grows with threads; (b) degrades "
+           "moderately with ORAM size");
+
+    auto base = baseConfig(opt);
+
+    TextTable a("Fig 17(a): latency/traditional vs threads "
+                "(merge+1M MAC)");
+    a.setHeader({"threads", "latency_norm"});
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        std::vector<double> ratios;
+        for (unsigned s = 0; s < mixes_per_point; ++s) {
+            auto mix = workload::makeMixForCores(cores, 40 + s);
+            auto cfg = base;
+            cfg.cores = cores;
+            ratios.push_back(normalizedLatency(
+                sim::withMergeMac(cfg, 1 << 20, 64),
+                sim::withTraditional(cfg), mix));
+        }
+        a.addRow({std::to_string(cores),
+                  TextTable::fmt(sim::geomean(ratios), 3)});
+    }
+    emit(a);
+
+    TextTable b("Fig 17(b): latency/traditional vs ORAM size "
+                "(4 threads, merge+1M MAC)");
+    b.setHeader({"oram_size", "leaf_level", "latency_norm"});
+    const std::vector<std::pair<std::string, unsigned>> sizes = {
+        {"1GB", 22}, {"4GB", 24}, {"16GB", 26}, {"32GB", 27}};
+    for (const auto &[name, leaf] : sizes) {
+        std::vector<double> ratios;
+        for (unsigned s = 0; s < mixes_per_point; ++s) {
+            auto mix = workload::makeMixForCores(4, 80 + s);
+            auto cfg = base;
+            cfg.cores = 4;
+            cfg.controller.oram.leafLevel = leaf;
+            ratios.push_back(normalizedLatency(
+                sim::withMergeMac(cfg, 1 << 20, 64),
+                sim::withTraditional(cfg), mix));
+        }
+        b.addRow({name, std::to_string(leaf),
+                  TextTable::fmt(sim::geomean(ratios), 3)});
+    }
+    emit(b);
+    return 0;
+}

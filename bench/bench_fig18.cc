@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 18: speedup of ORAM latency (traditional / Fork Path) at
+ * 1, 2 and 4 DRAM channels, per mix.
+ *
+ * Paper: Fork Path is more effective with fewer channels — the
+ * absolute ORAM latency is higher there, so more real requests pile
+ * up in the label queue and scheduling has more to work with.
+ */
+
+#include "fig_common.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+    if (!args.has("mixes"))
+        opt.mixes = {"Mix1", "Mix3", "Mix4", "Mix7", "Mix9"};
+
+    banner("Figure 18: ORAM latency speedup vs DRAM channels",
+           "speedup is largest at 1 channel and shrinks as channels "
+           "are added");
+
+    auto base = baseConfig(opt);
+    const std::vector<unsigned> channels = {1, 2, 4};
+
+    TextTable table("Fig 18 (traditional latency / fork latency)");
+    std::vector<std::string> header = {"mix"};
+    for (unsigned ch : channels)
+        header.push_back(std::to_string(ch) + "-channel");
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> speedups(channels.size());
+    for (const auto &mix : opt.mixes) {
+        std::vector<std::string> row = {mix};
+        for (std::size_t i = 0; i < channels.size(); ++i) {
+            auto cfg = base;
+            cfg.dram = dram::DramParams::ddr3_1600(channels[i]);
+            auto trad = sim::runMix(sim::withTraditional(cfg), mix);
+            auto fork = sim::runMix(
+                sim::withMergeMac(cfg, 1 << 20, 64), mix);
+            double speedup =
+                trad.avgLlcLatencyNs / fork.avgLlcLatencyNs;
+            speedups[i].push_back(speedup);
+            row.push_back(TextTable::fmt(speedup, 2));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg = {"geomean"};
+    for (const auto &series : speedups)
+        avg.push_back(TextTable::fmt(sim::geomean(series), 2));
+    table.addRow(avg);
+    emit(table);
+    return 0;
+}

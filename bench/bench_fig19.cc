@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 19: ORAM latency of 4-thread PARSEC-like multi-threaded
+ * workloads (one thread per core, shared address space), for
+ * merge + 1 MB MAC normalized to traditional Path ORAM.
+ *
+ * Paper: significant reductions across PARSEC; the size of the win
+ * tracks each workload's memory intensity (fewer extra dummies when
+ * the label queue stays populated).
+ */
+
+#include "fig_common.hh"
+#include "workload/parsec_profiles.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt = parseOptions(args);
+
+    banner("Figure 19: PARSEC-like multithreaded workloads "
+           "(4 threads)",
+           "latency reduced significantly across workloads; win "
+           "scales with memory intensity");
+
+    auto cfg = baseConfig(opt);
+    cfg.cores = 4;
+
+    TextTable table("Fig 19 (ORAM latency / traditional)");
+    table.setHeader(
+        {"workload", "traditional(ns)", "merge+1M_MAC", "dummy_frac"});
+
+    std::vector<double> ratios;
+    for (const auto &name : workload::parsecNames()) {
+        auto trad = sim::runParsec(sim::withTraditional(cfg), name);
+        auto fork = sim::runParsec(
+            sim::withMergeMac(cfg, 1 << 20, 64), name);
+        double ratio = fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+        ratios.push_back(ratio);
+        table.addRow(
+            {name, TextTable::fmt(trad.avgLlcLatencyNs, 0),
+             TextTable::fmt(ratio, 3),
+             TextTable::fmt(static_cast<double>(fork.dummyAccesses) /
+                                fork.totalAccesses(),
+                            3)});
+    }
+    table.addRow({"geomean", "-",
+                  TextTable::fmt(sim::geomean(ratios), 3), "-"});
+    emit(table);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic companion to Figure 10: expected best-of-queue path
+ * overlap, closed form vs Monte-Carlo, across queue sizes and tree
+ * depths. Validates the log2(queue) trend in the fetched path length
+ * independently of the timing model.
+ */
+
+#include "core/overlap.hh"
+#include "fig_common.hh"
+#include "util/random.hh"
+
+using namespace fp;
+using namespace fp::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto trials =
+        static_cast<unsigned>(args.getInt("trials", 40000));
+
+    banner("Overlap analysis (supports Figure 10)",
+           "expected fetched path ~= L+1 - E[best-of-Q overlap], "
+           "E grows ~1 level per queue doubling");
+
+    for (unsigned leaf : {16u, 24u}) {
+        mem::TreeGeometry geo(leaf);
+        Rng rng(1234 + leaf);
+
+        TextTable table("L = " + std::to_string(leaf) +
+                        " (path length " +
+                        std::to_string(geo.numLevels()) + ")");
+        table.setHeader({"queue", "E[overlap] analytic",
+                         "E[overlap] monte-carlo",
+                         "expected fetched path"});
+        for (unsigned q : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+            double analytic = core::expectedBestOverlap(geo, q);
+            double sum = 0.0;
+            for (unsigned t = 0; t < trials; ++t) {
+                LeafLabel cur = rng.uniformInt(geo.numLeaves());
+                unsigned best = 0;
+                for (unsigned i = 0; i < q; ++i) {
+                    best = std::max(
+                        best,
+                        geo.overlap(cur,
+                                    rng.uniformInt(geo.numLeaves())));
+                }
+                sum += best;
+            }
+            table.addRow({std::to_string(q),
+                          TextTable::fmt(analytic, 3),
+                          TextTable::fmt(sum / trials, 3),
+                          TextTable::fmt(geo.numLevels() - analytic,
+                                         2)});
+        }
+        emit(table);
+    }
+    return 0;
+}

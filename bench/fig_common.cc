@@ -1,0 +1,73 @@
+#include "fig_common.hh"
+
+#include <iostream>
+#include <sstream>
+
+namespace fp::bench
+{
+
+namespace
+{
+bool csvMode = false;
+} // anonymous namespace
+
+BenchOptions
+parseOptions(const CliArgs &args)
+{
+    BenchOptions opt;
+    opt.requests = static_cast<std::uint64_t>(
+        args.getInt("requests", 1200));
+    opt.leafLevel =
+        static_cast<unsigned>(args.getInt("leaf-level", 24));
+    if (args.getBool("quick")) {
+        opt.requests = 150;
+        opt.leafLevel = 14;
+    }
+    opt.csv = args.getBool("csv");
+    csvMode = opt.csv;
+
+    std::string mixes = args.getString("mixes", "");
+    if (mixes.empty()) {
+        opt.mixes = workload::mixNames();
+    } else {
+        std::stringstream ss(mixes);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            opt.mixes.push_back(item);
+    }
+    return opt;
+}
+
+sim::SimConfig
+baseConfig(const BenchOptions &opt)
+{
+    sim::SimConfig cfg = sim::SimConfig::paperDefault();
+    cfg.requestsPerCore = opt.requests;
+    cfg.controller.oram.leafLevel = opt.leafLevel;
+    return cfg;
+}
+
+void
+emit(const TextTable &table)
+{
+    if (csvMode)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+banner(const std::string &figure, const std::string &paper_says)
+{
+    if (csvMode)
+        return; // keep CSV output machine-clean
+    std::cout << "==================================================="
+                 "=====\n"
+              << figure << "\n"
+              << "paper reports: " << paper_says << "\n"
+              << "==================================================="
+                 "=====\n\n";
+}
+
+} // namespace fp::bench

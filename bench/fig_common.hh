@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark harnesses.
+ *
+ * Every bench accepts:
+ *   --requests=N    LLC misses per core (default 1200)
+ *   --leaf-level=L  ORAM tree depth (default 24, the paper's 4 GB)
+ *   --mixes=a,b     comma-separated subset of Table 2 mixes
+ *   --quick         shrink to a smoke-test sized run
+ *   --csv           emit tables as CSV (for external plotting)
+ *
+ * Output convention: each bench prints the paper's series as ASCII
+ * tables, normalized the same way the figure is, and ends with a
+ * "paper reports" note for EXPERIMENTS.md cross-checking.
+ */
+
+#ifndef FP_BENCH_FIG_COMMON_HH
+#define FP_BENCH_FIG_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/mixes.hh"
+
+namespace fp::bench
+{
+
+struct BenchOptions
+{
+    std::uint64_t requests = 1200;
+    unsigned leafLevel = 24;
+    std::vector<std::string> mixes;
+    bool csv = false;
+};
+
+/** Parse the common flags. */
+BenchOptions parseOptions(const CliArgs &args);
+
+/** The paper's Table 1 config with the bench's scaling applied. */
+sim::SimConfig baseConfig(const BenchOptions &opt);
+
+/** Print a table followed by a blank line. */
+void emit(const TextTable &table);
+
+/** Print the figure header + the paper's reported takeaway. */
+void banner(const std::string &figure, const std::string &paper_says);
+
+} // namespace fp::bench
+
+#endif // FP_BENCH_FIG_COMMON_HH

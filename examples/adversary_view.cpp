@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Adversary's-eye demo: what does the memory bus actually reveal?
+ *
+ * Three experiments, printed as evidence an auditor could check:
+ *
+ *  1. **Pattern hiding.** Two very different programs run on
+ *     identical Fork Path ORAMs — one hammers a single secret
+ *     counter, the other scans a large array. The revealed leaf-label
+ *     sequences are collected and compared statistically: both are
+ *     uniform, and neither side of any reasonable statistic separates
+ *     them.
+ *  2. **Data independence.** The same program runs twice with
+ *     different secret data; the revealed access shapes are
+ *     byte-for-byte identical.
+ *  3. **Active attack.** With Merkle integrity enabled, a bit flipped
+ *     in external memory is caught on the next fetch (shown in a
+ *     child process, since detection is fatal by design).
+ *
+ *   ./adversary_view
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/oram_controller.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+fp::core::ControllerParams
+demoParams(bool integrity = false)
+{
+    fp::core::ControllerParams p =
+        fp::core::ControllerParams::forkPath();
+    p.oram.leafLevel = 12;
+    p.oram.payloadBytes = 16;
+    p.oram.encrypt = true;
+    p.oram.seed = 20260706;
+    p.oram.stashShortcut = false; // every access walks the tree
+    p.labelQueueSize = 8;
+    p.cachePolicy = fp::core::CachePolicy::none;
+    p.enableIntegrity = integrity;
+    return p;
+}
+
+struct Rig
+{
+    fp::EventQueue eq;
+    fp::dram::DramSystem dram;
+    fp::core::OramController ctrl;
+
+    explicit Rig(const fp::core::ControllerParams &p)
+        : dram(fp::dram::DramParams::ddr3_1600(2), eq),
+          ctrl(p, eq, dram)
+    {
+        ctrl.setRevealTraceEnabled(true);
+    }
+
+    void
+    access(bool write, fp::BlockAddr addr, std::uint8_t fill)
+    {
+        ctrl.request(write ? fp::oram::Op::write : fp::oram::Op::read,
+                     addr, std::vector<std::uint8_t>(16, fill),
+                     [](fp::Tick, const auto &) {});
+        eq.run();
+    }
+};
+
+double
+chiSquare16(const std::vector<fp::core::RevealedAccess> &trace,
+            unsigned leaf_level)
+{
+    std::vector<double> counts(16, 0.0);
+    for (const auto &r : trace)
+        counts[r.label >> (leaf_level - 4)] += 1.0;
+    double expect = static_cast<double>(trace.size()) / 16.0;
+    double chi2 = 0.0;
+    for (double c : counts)
+        chi2 += (c - expect) * (c - expect) / expect;
+    return chi2;
+}
+
+void
+experimentPatternHiding()
+{
+    std::printf("--- 1. pattern hiding "
+                "------------------------------------\n");
+    Rig hammer(demoParams());
+    Rig scanner(demoParams());
+
+    // Program A: increment one secret counter, over and over.
+    for (int i = 0; i < 400; ++i)
+        hammer.access(true, 7, static_cast<std::uint8_t>(i));
+    // Program B: stride through 4096 blocks.
+    for (int i = 0; i < 400; ++i)
+        scanner.access(i % 4 == 0, (i * 37) % 4096, 0);
+
+    double chi_a =
+        chiSquare16(hammer.ctrl.revealTrace(), 12);
+    double chi_b =
+        chiSquare16(scanner.ctrl.revealTrace(), 12);
+    // 15 dof: 99.9th percentile = 37.70.
+    std::printf("  counter-hammer: %4zu revealed labels, chi2 = "
+                "%6.2f  (uniform if < 37.70)\n",
+                hammer.ctrl.revealTrace().size(), chi_a);
+    std::printf("  array-scanner:  %4zu revealed labels, chi2 = "
+                "%6.2f  (uniform if < 37.70)\n",
+                scanner.ctrl.revealTrace().size(), chi_b);
+    std::printf("  verdict: %s\n\n",
+                (chi_a < 37.7 && chi_b < 37.7)
+                    ? "both buses look like uniform noise"
+                    : "LEAK DETECTED (file a bug!)");
+}
+
+void
+experimentDataIndependence()
+{
+    std::printf("--- 2. data independence "
+                "---------------------------------\n");
+    auto run = [](std::uint8_t secret) {
+        Rig rig(demoParams());
+        fp::Rng rng(1234); // same addresses both runs
+        for (int i = 0; i < 200; ++i)
+            rig.access(i % 2 == 0, rng.uniformInt(256), secret);
+        return rig.ctrl.revealTrace();
+    };
+    auto t1 = run(0x00);
+    auto t2 = run(0xFF);
+    bool identical = t1.size() == t2.size();
+    for (std::size_t i = 0; identical && i < t1.size(); ++i) {
+        identical = t1[i].label == t2[i].label &&
+                    t1[i].readStartLevel == t2[i].readStartLevel &&
+                    t1[i].writeStopLevel == t2[i].writeStopLevel;
+    }
+    std::printf("  run(secret=0x00) and run(secret=0xFF): %zu "
+                "revealed accesses each\n",
+                t1.size());
+    std::printf("  verdict: traces are %s\n\n",
+                identical ? "byte-for-byte identical"
+                          : "DIFFERENT (file a bug!)");
+}
+
+void
+experimentActiveAttack()
+{
+    std::printf("--- 3. active attack vs Merkle integrity "
+                "-----------------\n");
+    pid_t pid = fork();
+    if (pid == 0) {
+        // Child: tamper with memory, then keep using the ORAM.
+        std::fclose(stderr); // silence the intentional panic text
+        Rig rig(demoParams(/*integrity=*/true));
+        fp::Rng rng(5);
+        for (int i = 0; i < 80; ++i)
+            rig.access(true, rng.uniformInt(64), 1);
+        auto &store = rig.ctrl.store();
+        for (fp::BucketIndex idx = 0;
+             idx < rig.ctrl.geometry().numBuckets(); ++idx) {
+            fp::mem::Bucket b = store.readBucket(idx);
+            if (b.empty())
+                continue;
+            fp::mem::Bucket nb(4);
+            for (const auto &blk : b.blocks()) {
+                fp::mem::Block c = blk;
+                c.payload[0] ^= 0x80; // the adversary's bit flip
+                nb.add(std::move(c));
+            }
+            store.writeBucket(idx, nb);
+        }
+        for (int i = 0; i < 200; ++i)
+            rig.access(false, rng.uniformInt(64), 0);
+        _exit(0); // tamper was NOT detected
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    bool detected = !(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    std::printf("  adversary flipped one bit per resident block in "
+                "external memory\n");
+    std::printf("  verdict: tampering %s\n\n",
+                detected ? "detected, execution halted"
+                         : "NOT detected (file a bug!)");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Fork Path ORAM: the adversary's view of the memory "
+                "bus\n\n");
+    experimentPatternHiding();
+    experimentDataIndependence();
+    experimentActiveAttack();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ORAM design-space explorer: sweep one Fork Path parameter (label
+ * queue size, tree depth, cache budget or DRAM channels) and print
+ * the resulting path length, latency and energy side by side — a
+ * what-if tool for tuning the controller before committing to a
+ * hardware configuration.
+ *
+ *   ./oram_explorer --sweep=queue
+ *   ./oram_explorer --sweep=depth --requests=1500
+ *   ./oram_explorer --sweep=cache
+ *   ./oram_explorer --sweep=channels
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/mixes.hh"
+
+namespace
+{
+
+fp::sim::SimConfig
+baseConfig(std::uint64_t requests)
+{
+    auto cfg = fp::sim::SimConfig::paperDefault();
+    cfg.requestsPerCore = requests;
+    cfg.controller.oram.leafLevel = 16;
+    return cfg;
+}
+
+void
+addRow(fp::TextTable &table, const std::string &point,
+       const fp::sim::RunResult &r)
+{
+    table.addRow({point, fp::TextTable::fmt(r.avgReadPathLen, 2),
+                  fp::TextTable::fmt(r.avgLlcLatencyNs, 1),
+                  fp::TextTable::fmt(
+                      r.totalAccesses() /
+                          static_cast<double>(r.realAccesses),
+                      3),
+                  fp::TextTable::fmt(r.totalEnergyNj() / 1e6, 3)});
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    fp::CliArgs args(argc, argv);
+    const std::string sweep = args.getString("sweep", "queue");
+    const auto requests =
+        static_cast<std::uint64_t>(args.getInt("requests", 1200));
+    const std::string mix = args.getString("mix", "Mix3");
+
+    fp::TextTable table("sweep: " + sweep + " (" + mix + ")");
+    table.setHeader({sweep, "path_len", "latency_ns",
+                     "accesses/real", "energy_mJ"});
+
+    if (sweep == "queue") {
+        for (unsigned q : {1u, 4u, 16u, 64u, 128u}) {
+            auto r = fp::sim::runMix(
+                fp::sim::withMergeOnly(baseConfig(requests), q), mix);
+            addRow(table, std::to_string(q), r);
+        }
+    } else if (sweep == "depth") {
+        for (unsigned L : {12u, 14u, 16u, 18u, 20u}) {
+            auto cfg =
+                fp::sim::withMergeOnly(baseConfig(requests), 64);
+            cfg.controller.oram.leafLevel = L;
+            addRow(table, "L=" + std::to_string(L),
+                   fp::sim::runMix(cfg, mix));
+        }
+    } else if (sweep == "cache") {
+        for (std::uint64_t kb : {64u, 128u, 256u, 512u, 1024u}) {
+            auto r = fp::sim::runMix(
+                fp::sim::withMergeMac(baseConfig(requests), kb << 10,
+                                      64),
+                mix);
+            addRow(table, std::to_string(kb) + "KB", r);
+        }
+    } else if (sweep == "channels") {
+        for (unsigned ch : {1u, 2u, 4u}) {
+            auto cfg =
+                fp::sim::withMergeOnly(baseConfig(requests), 64);
+            cfg.dram = fp::dram::DramParams::ddr3_1600(ch);
+            addRow(table, std::to_string(ch),
+                   fp::sim::runMix(cfg, mix));
+        }
+    } else {
+        fp_fatal("unknown --sweep=%s (queue|depth|cache|channels)",
+                 sweep.c_str());
+    }
+
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: stand up a Fork Path ORAM with encrypted 64-byte
+ * blocks, write and read a few blocks through the blocking API, and
+ * print what happened underneath (paths fetched, dummies issued,
+ * DRAM behaviour).
+ *
+ *   ./quickstart [--blocks=64] [--traditional]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/sync_oram.hh"
+#include "util/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    fp::CliArgs args(argc, argv);
+    const auto blocks =
+        static_cast<std::uint64_t>(args.getInt("blocks", 64));
+    const bool traditional = args.getBool("traditional");
+
+    // Configure: a 1 GB-class tree (L = 16 keeps the demo snappy),
+    // Z = 4, 64 B encrypted payloads, Fork Path features on.
+    fp::core::ControllerParams params =
+        traditional ? fp::core::ControllerParams::traditional()
+                    : fp::core::ControllerParams::forkPath();
+    params.oram.leafLevel = 16;
+    params.oram.payloadBytes = 64;
+    params.oram.encrypt = true;
+    params.oram.seed = 2026;
+    params.labelQueueSize = traditional ? 1 : 16;
+
+    fp::sim::SyncOram oram(params);
+    std::printf("Fork Path ORAM quickstart (%s mode)\n",
+                traditional ? "traditional Path ORAM" : "Fork Path");
+    std::printf("tree: %u levels, %llu buckets, block %zu B\n\n",
+                oram.controller().geometry().numLevels(),
+                static_cast<unsigned long long>(
+                    oram.controller().geometry().numBuckets()),
+                oram.blockSize());
+
+    // Write a recognisable pattern into `blocks` blocks.
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+        std::vector<std::uint8_t> data(oram.blockSize());
+        for (std::size_t b = 0; b < data.size(); ++b)
+            data[b] = static_cast<std::uint8_t>(i + b);
+        oram.write(i, std::move(data));
+    }
+
+    // Read everything back and verify.
+    std::uint64_t bad = 0;
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+        auto data = oram.read(i);
+        for (std::size_t b = 0; b < data.size(); ++b) {
+            if (data[b] != static_cast<std::uint8_t>(i + b)) {
+                ++bad;
+                break;
+            }
+        }
+    }
+    std::printf("verified %llu blocks, %llu mismatches\n\n",
+                static_cast<unsigned long long>(blocks),
+                static_cast<unsigned long long>(bad));
+
+    oram.printStats();
+    return bad == 0 ? 0 : 1;
+}

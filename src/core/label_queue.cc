@@ -1,0 +1,130 @@
+#include "core/label_queue.hh"
+
+#include "util/logging.hh"
+
+namespace fp::core
+{
+
+LabelQueue::LabelQueue(const mem::TreeGeometry &geo,
+                       std::size_t capacity, unsigned aging_threshold,
+                       DummySelectPolicy policy, std::uint64_t seed)
+    : geo_(geo), capacity_(capacity),
+      agingThreshold_(aging_threshold), policy_(policy), rng_(seed)
+{
+    fp_assert(capacity >= 1, "label queue needs capacity >= 1");
+}
+
+bool
+LabelQueue::insertReal(LeafLabel label, std::uint64_t token,
+                       bool allow_overflow)
+{
+    fp_assert(geo_.validLeaf(label), "insertReal: bad label");
+    LabelEntry entry;
+    entry.label = label;
+    entry.dummy = false;
+    entry.token = token;
+
+    // Algorithm 1: a real request takes the slot of the first padding
+    // dummy; the dummy was never revealed, so it simply vanishes.
+    for (auto &e : entries_) {
+        if (e.dummy) {
+            e = entry;
+            ++realCount_;
+            return true;
+        }
+    }
+    if (entries_.size() < capacity_ || allow_overflow) {
+        entries_.push_back(entry);
+        ++realCount_;
+        return true;
+    }
+    return false;
+}
+
+void
+LabelQueue::ensureFull()
+{
+    while (entries_.size() < capacity_) {
+        LabelEntry e;
+        e.label = rng_.uniformInt(geo_.numLeaves());
+        e.dummy = true;
+        entries_.push_back(e);
+    }
+}
+
+bool
+LabelQueue::hasSpaceForReal() const
+{
+    if (realCount_ < entries_.size())
+        return true; // a dummy can be replaced
+    return entries_.size() < capacity_;
+}
+
+std::optional<LabelEntry>
+LabelQueue::selectNext(LeafLabel current)
+{
+    if (entries_.empty())
+        return std::nullopt;
+
+    std::size_t pick = entries_.size();
+
+    // Starvation rule: an over-age real request preempts the overlap
+    // heuristic; the oldest one goes first.
+    unsigned best_age = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const LabelEntry &e = entries_[i];
+        if (!e.dummy && e.age >= agingThreshold_ &&
+            (pick == entries_.size() || e.age > best_age)) {
+            pick = i;
+            best_age = e.age;
+        }
+    }
+    if (pick != entries_.size())
+        agingPromotions_.inc();
+
+    if (pick == entries_.size()) {
+        bool restrict_to_real =
+            policy_ == DummySelectPolicy::realFirst && realCount_ > 0;
+        int best_overlap = -1;
+        bool best_real = false;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const LabelEntry &e = entries_[i];
+            if (restrict_to_real && e.dummy)
+                continue;
+            int ov = static_cast<int>(geo_.overlap(current, e.label));
+            bool better =
+                ov > best_overlap ||
+                (ov == best_overlap && !e.dummy && !best_real);
+            if (better) {
+                best_overlap = ov;
+                best_real = !e.dummy;
+                pick = i;
+            }
+        }
+    }
+
+    fp_assert(pick < entries_.size(), "selectNext: nothing selected");
+    LabelEntry out = entries_[pick];
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+    if (!out.dummy) {
+        fp_assert(realCount_ > 0, "selectNext: real count underflow");
+        --realCount_;
+    }
+
+    selections_.inc();
+    if (out.dummy) {
+        dummySelected_.inc();
+        // Cnt semantics: a real request ages when it loses a slot to
+        // a padding dummy. Losing to another *real* request is not
+        // starvation (the work still progresses), and counting it
+        // would degrade overlap scheduling to FIFO under backlog.
+        for (auto &e : entries_) {
+            if (!e.dummy)
+                ++e.age;
+        }
+    }
+    return out;
+}
+
+} // namespace fp::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The label queue of the Fork Path controller (paper Section 3.4 and
+ * Figure 9): a fixed-capacity pool of pending ORAM path labels from
+ * which the next request is scheduled by maximum path overlap with
+ * the in-flight request.
+ *
+ * Security shape (Figure 7): the pool presented to the scheduler is
+ * always exactly `capacity` entries; when fewer real requests are
+ * pending it is padded with dummy labels, so the statistics of the
+ * revealed overlap degrees are independent of LLC intensity. A real
+ * request beats a dummy at equal overlap, and a per-entry age counter
+ * (the Cnt field of Figure 9) force-promotes starved requests.
+ *
+ * Two selection policies are provided:
+ *  - compete:   the paper's rule. Dummies genuinely compete on
+ *               overlap (ties go to real requests), which keeps the
+ *               revealed overlap distribution intensity-independent.
+ *  - realFirst: dummies are only eligible when no real request is
+ *               pending. Leaks intensity through the overlap degree
+ *               (Figure 7a) but wastes no accesses; provided for the
+ *               ablation study.
+ */
+
+#ifndef FP_CORE_LABEL_QUEUE_HH
+#define FP_CORE_LABEL_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "mem/tree_geometry.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace fp::core
+{
+
+enum class DummySelectPolicy
+{
+    compete,
+    realFirst,
+};
+
+/** One pending ORAM request's scheduling entry. */
+struct LabelEntry
+{
+    LeafLabel label = invalidLeaf;
+    bool dummy = true;
+    /** Opaque link to the owning access (0 for padding dummies). */
+    std::uint64_t token = 0;
+    /** Selection rounds lost to a dummy (the paper's Cnt field). */
+    unsigned age = 0;
+};
+
+class LabelQueue
+{
+  public:
+    /**
+     * @param geo            Tree geometry (for overlap).
+     * @param capacity       The label queue size M.
+     * @param aging_threshold Age at which a real entry is
+     *                       force-promoted past the overlap rule.
+     * @param policy         Dummy eligibility policy.
+     * @param seed           RNG seed for padding labels.
+     */
+    LabelQueue(const mem::TreeGeometry &geo, std::size_t capacity,
+               unsigned aging_threshold, DummySelectPolicy policy,
+               std::uint64_t seed);
+
+    /**
+     * Insert a real request: replaces the first padding dummy if any
+     * (Algorithm 1), else appends. Chain spawns may transiently push
+     * the queue one entry past capacity; padding never does.
+     * @return false iff the queue is full of real entries.
+     */
+    bool insertReal(LeafLabel label, std::uint64_t token,
+                    bool allow_overflow = false);
+
+    /** Pad with fresh uniform dummy labels up to capacity. */
+    void ensureFull();
+
+    /**
+     * Pop the scheduled next request w.r.t. the in-flight path
+     * @p current: an over-age real entry first (oldest), otherwise
+     * maximum overlap with ties broken real-over-dummy then FIFO.
+     * Ages the remaining real entries. Empty queue returns nullopt.
+     */
+    std::optional<LabelEntry> selectNext(LeafLabel current);
+
+    /** True if a real insert would succeed without overflow. */
+    bool hasSpaceForReal() const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t realCount() const { return realCount_; }
+    std::size_t dummyCount() const
+    {
+        return entries_.size() - realCount_;
+    }
+
+    /** Entries, oldest first (tests & the controller's swap rule). */
+    const std::deque<LabelEntry> &entries() const { return entries_; }
+
+    std::uint64_t selections() const { return selections_.value(); }
+    std::uint64_t dummiesSelected() const
+    {
+        return dummySelected_.value();
+    }
+    std::uint64_t agingPromotions() const
+    {
+        return agingPromotions_.value();
+    }
+
+  private:
+    mem::TreeGeometry geo_;
+    std::size_t capacity_;
+    unsigned agingThreshold_;
+    DummySelectPolicy policy_;
+    Rng rng_;
+
+    std::deque<LabelEntry> entries_;
+    std::size_t realCount_ = 0;
+
+    fp::Counter selections_;
+    fp::Counter dummySelected_;
+    fp::Counter agingPromotions_;
+};
+
+} // namespace fp::core
+
+#endif // FP_CORE_LABEL_QUEUE_HH

@@ -1,0 +1,739 @@
+#include "core/oram_controller.hh"
+
+#include <algorithm>
+
+#include "core/overlap.hh"
+#include "util/debug.hh"
+#include "util/logging.hh"
+
+namespace fp::core
+{
+
+ControllerParams
+ControllerParams::traditional()
+{
+    ControllerParams p;
+    p.enableMerging = false;
+    p.enableDummyReplacing = false;
+    p.labelQueueSize = 1;
+    p.cachePolicy = CachePolicy::none;
+    return p;
+}
+
+ControllerParams
+ControllerParams::forkPath()
+{
+    ControllerParams p;
+    p.enableMerging = true;
+    p.enableDummyReplacing = true;
+    p.labelQueueSize = 64;
+    p.cachePolicy = CachePolicy::mac;
+    return p;
+}
+
+OramController::OramController(const ControllerParams &params,
+                               EventQueue &eq, dram::DramSystem &dram)
+    : params_(params), eq_(eq), dram_(dram),
+      geo_(params.oram.geometry()),
+      posMap_(geo_, params.oram.seed ^ 0xa11ce),
+      stash_(geo_, params.oram.stashCapacity),
+      store_(geo_, params.oram.z, params.oram.payloadBytes,
+             params.oram.encrypt, params.oram.seed ^ 0xc1f3),
+      layout_(geo_, params.bucketBytes(),
+              dram.params().org.rowBytes, params.layout),
+      addrQueue_(params.addressQueueSize),
+      labelQueue_(geo_, params.labelQueueSize, params.agingThreshold,
+                  params.dummyPolicy, params.oram.seed ^ 0x1abe1),
+      rng_(params.oram.seed ^ 0xf0c4),
+      llcLatency_(256, 100.0), // 100 ns buckets
+      stats_("oram_controller")
+{
+    if (params_.cachePolicy == CachePolicy::treetop) {
+        treetop_ = std::make_unique<oram::TreetopCache>(
+            geo_, params_.bucketBytes(), params_.cacheBudgetBytes);
+    } else if (params_.cachePolicy == CachePolicy::mac) {
+        MergingCacheParams mp;
+        mp.m1 = params_.macM1 >= 0
+                    ? static_cast<unsigned>(params_.macM1)
+                    : macBottomLevel(geo_, params_.labelQueueSize);
+        mp.budgetBytes = params_.cacheBudgetBytes;
+        mp.bucketsPerSet = params_.macBucketsPerSet;
+        mp.bucketBytes = params_.bucketBytes();
+        mp.z = params_.oram.z;
+        mac_ = std::make_unique<MergingAwareCache>(geo_, mp);
+    }
+    if (params_.enableIntegrity) {
+        merkle_ = std::make_unique<oram::MerkleTree>(
+            geo_, params_.oram.seed ^ 0x3ec71e);
+        integrityRead_.resize(geo_.numLevels());
+        integrityWrite_.resize(geo_.numLevels());
+    }
+    if (params_.recursionDepth > 0 && params_.plbEntries > 0) {
+        plb_ = std::make_unique<PosmapLookasideBuffer>(
+            params_.recursionDepth, params_.recursionFanout,
+            params_.plbEntries);
+    }
+
+    stats_.regHistogram("llc_latency_ns", llcLatency_,
+                        "LLC request completion latency");
+    stats_.regAverage("read_path_len", readLen_,
+                      "tree levels fetched per access");
+    stats_.regAverage("dram_buckets_read", dramReadLen_,
+                      "buckets fetched from DRAM per access");
+    stats_.regAverage("dram_service_ns", dramService_,
+                      "read+write phase duration per access");
+    stats_.regCounter("real_accesses", realAccesses_,
+                      "real ORAM accesses performed");
+    stats_.regCounter("dummy_accesses", dummyAccesses_,
+                      "dummy ORAM accesses performed");
+    stats_.regCounter("dummy_replacements", dummyReplacements_,
+                      "pending dummies replaced by real requests");
+    stats_.regCounter("pending_swaps", pendingSwaps_,
+                      "pending real requests swapped for better overlap");
+    stats_.regCounter("stash_shortcuts", stashShortcuts_,
+                      "requests served directly from the stash");
+    stats_.regCounter("onchip_bucket_reads", onChipBucketReads_,
+                      "bucket reads served by treetop/MAC");
+    stats_.regCounter("mac_victim_writes", macVictimWrites_,
+                      "MAC evictions written back to DRAM");
+
+    setDebugTickSource(eq_.nowPtr());
+}
+
+OramController::~OramController() = default;
+
+bool
+OramController::canAccept() const
+{
+    return !addrQueue_.full();
+}
+
+std::uint64_t
+OramController::request(oram::Op op, BlockAddr addr,
+                        std::vector<std::uint8_t> payload,
+                        DataCallback cb)
+{
+    if (addrQueue_.full())
+        return 0;
+
+    std::uint64_t id = nextId_++;
+    AddressEntry entry;
+    entry.id = id;
+    entry.addr = addr;
+    entry.op = op;
+    entry.payload = std::move(payload);
+    entry.arrival = eq_.now();
+
+    auto result = addrQueue_.insert(std::move(entry));
+    fp_assert(result.accepted, "address queue rejected with space");
+    if (result.cancelledId != 0) {
+        // The superseded write is acknowledged immediately; the
+        // younger write carries the live data from here on.
+        respond(result.cancelledId, {});
+    }
+    if (result.forwarded) {
+        // Write-before-Read forwarding: done without an ORAM access.
+        llcLatency_.sample(0.0);
+        if (cb)
+            cb(eq_.now(), result.forwardData);
+        return id;
+    }
+
+    LlcRequest req;
+    req.id = id;
+    req.addr = addr;
+    req.op = op;
+    req.payload = addrQueue_.find(id)->payload;
+    req.arrival = eq_.now();
+    req.cb = std::move(cb);
+    llc_.emplace(id, std::move(req));
+    ++outstandingLlc_;
+
+    pumpFrontend();
+    maybeStartBackend();
+    return id;
+}
+
+bool
+OramController::realWorkPending() const
+{
+    return addrQueue_.issuableCount() > 0 ||
+           labelQueue_.realCount() > 0 ||
+           (pending_ && !pending_->dummy);
+}
+
+bool
+OramController::shouldRunBackend() const
+{
+    // Background eviction (Ren et al.): an over-full stash keeps the
+    // dummy stream running so refills drain blocks into the tree.
+    bool stash_pressure = params_.backgroundEviction &&
+                          stash_.size() >=
+                              params_.oram.stashCapacity;
+    // Periodic mode never parks: the nonstop access stream is the
+    // whole point (Section 2.2's timing-channel seal).
+    return params_.periodicIntervalTicks != 0 ||
+           realWorkPending() || stash_pressure;
+}
+
+void
+OramController::respond(std::uint64_t llc_id,
+                        const std::vector<std::uint8_t> &data)
+{
+    auto it = llc_.find(llc_id);
+    fp_assert(it != llc_.end(), "respond: unknown LLC id");
+    LlcRequest req = std::move(it->second);
+    llc_.erase(it);
+
+    llcLatency_.sample(fp::ticksToNs(eq_.now() - req.arrival));
+    fp_assert(outstandingLlc_ > 0, "respond: LLC underflow");
+    --outstandingLlc_;
+    if (req.cb)
+        req.cb(eq_.now(), data);
+
+    // Releasing the address-queue entry may unblock held writes and
+    // complete piggybacked reads.
+    for (std::uint64_t pid : addrQueue_.complete(llc_id, data))
+        respond(pid, data);
+}
+
+void
+OramController::pumpFrontend()
+{
+    while (AddressEntry *e = addrQueue_.nextIssuable()) {
+        // Step 1: stash shortcut.
+        if (params_.oram.stashShortcut) {
+            if (mem::Block *blk = stash_.find(e->addr)) {
+                stashShortcuts_.inc();
+                std::vector<std::uint8_t> data = blk->payload;
+                if (e->op == oram::Op::write)
+                    blk->payload = e->payload;
+                addrQueue_.markIssued(e->id);
+                respond(e->id, data);
+                continue;
+            }
+        }
+
+        // MAC data hit (paper Section 4): the block may sit in a
+        // cached bucket along its current path; if so it is promoted
+        // to the stash and the request completes without a DRAM
+        // access, exactly like a stash hit.
+        if (mac_ && tryMacDataHit(*e))
+            continue;
+
+        // Build the head of this request's access chain. With
+        // modelled recursion the head is a position-map access with a
+        // uniform label; otherwise it is the data access itself. A
+        // PLB hit lets the chain start below the cached translation.
+        ActiveAccess acc;
+        acc.dummy = false;
+        acc.llcId = e->id;
+        acc.chainIndex =
+            plb_ ? plb_->lookupChainStart(e->addr) : 0;
+        bool is_data = acc.chainIndex == params_.recursionDepth;
+        if (is_data) {
+            acc.addr = e->addr;
+            acc.label = posMap_.lookupOrAssign(e->addr);
+        } else {
+            acc.label = posMap_.randomLabel();
+        }
+
+        // Admission: dummy-replace / swap into pending, else the
+        // label queue proper.
+        bool admitted = tryReplaceOrSwapPending(acc);
+        if (!admitted) {
+            if (!labelQueue_.hasSpaceForReal())
+                break; // backpressure; retry on next pump
+            if (is_data)
+                acc.newLeaf = posMap_.remap(e->addr);
+            enqueueAccess(acc);
+        } else if (is_data) {
+            // Remap only once the access is definitely in flight.
+            // (tryReplaceOrSwapPending cannot be reached before the
+            // label lookup above, which it uses for the overlap.)
+            pending_->newLeaf = posMap_.remap(e->addr);
+        }
+        addrQueue_.markIssued(e->id);
+    }
+}
+
+bool
+OramController::tryMacDataHit(AddressEntry &entry)
+{
+    // The block, if not stashed, lives somewhere on the path of its
+    // current label; probe the cached band's positions along it.
+    LeafLabel label = posMap_.lookupOrAssign(entry.addr);
+    for (unsigned level = mac_->m1(); level <= mac_->m2(); ++level) {
+        BucketIndex idx = geo_.bucketAt(label, level);
+        auto blk = mac_->extractBlock(idx, entry.addr);
+        if (!blk)
+            continue;
+        if (merkle_) {
+            const mem::Bucket *rest = mac_->peek(idx);
+            fp_assert(rest != nullptr, "MAC hit bucket vanished");
+            merkle_->updateBucket(idx, *rest);
+        }
+        fp_dtrace(cache, "MAC data hit addr=%llu at level %u",
+                  static_cast<unsigned long long>(entry.addr),
+                  level);
+        blk->leaf = posMap_.remap(entry.addr);
+        std::vector<std::uint8_t> data = blk->payload;
+        if (entry.op == oram::Op::write)
+            blk->payload = entry.payload;
+        stash_.insert(std::move(*blk));
+        addrQueue_.markIssued(entry.id);
+        respond(entry.id, data);
+        return true;
+    }
+    return false;
+}
+
+bool
+OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
+{
+    if (!params_.enableMerging || !params_.enableDummyReplacing)
+        return false;
+    if (!writePhaseActive_ || !pending_ || !current_)
+        return false;
+
+    unsigned k_in = geo_.overlap(current_->label, incoming.label);
+    // The crossing bucket (deepest shared level, k_in - 1) must not
+    // have been issued yet: the refill sweeps leaf -> root, so levels
+    // strictly above nextWriteLevel_ are already committed to the
+    // command stream (paper Cases 1-3).
+    bool crossing_free =
+        static_cast<int>(k_in) - 1 <= nextWriteLevel_;
+    if (!crossing_free)
+        return false;
+
+    if (pending_->dummy) {
+        fp_dtrace(sched,
+                  "replace dummy pending with label=%llu (k=%u)",
+                  static_cast<unsigned long long>(incoming.label),
+                  k_in);
+        pending_ = incoming;
+        writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
+        dummyReplacements_.inc();
+        issueMoreWrites();
+        return true;
+    }
+
+    unsigned k_pend = geo_.overlap(current_->label, pending_->label);
+    if (k_in > k_pend) {
+        // Swap: the better-overlapping incoming becomes pending; the
+        // old pending rejoins the pool (Algorithm 1).
+        ActiveAccess old_pending = *pending_;
+        pending_ = incoming;
+        writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
+        pendingSwaps_.inc();
+        enqueueAccess(old_pending);
+        issueMoreWrites();
+        return true;
+    }
+    return false;
+}
+
+void
+OramController::enqueueAccess(const ActiveAccess &access)
+{
+    std::uint64_t token = nextToken_++;
+    accessPool_.emplace(token, access);
+    bool ok = labelQueue_.insertReal(access.label, token,
+                                     /*allow_overflow=*/true);
+    fp_assert(ok, "label queue rejected an overflow insert");
+}
+
+void
+OramController::maybeStartBackend()
+{
+    if (phase_ == Phase::writeParked) {
+        // A real arrival resumes the lazily-parked dummy refill; its
+        // write-phase selection will see the newcomer.
+        if (shouldRunBackend()) {
+            phase_ = Phase::idleGap;
+            eq_.scheduleIn(params_.idleGapTicks, [this] {
+                if (phase_ == Phase::idleGap)
+                    startWrite();
+            });
+        }
+        return;
+    }
+    if (phase_ != Phase::idle)
+        return;
+
+    if (!current_) {
+        // Pick a fresh access from the label queue.
+        if (params_.enableMerging) {
+            if (!shouldRunBackend())
+                return; // never spin pure-dummy cycles while idle
+            labelQueue_.ensureFull();
+        }
+        auto entry = labelQueue_.selectNext(prevLabel_);
+        if (entry) {
+            current_ = toActive(*entry);
+        } else if (params_.periodicIntervalTicks != 0) {
+            // Non-merging periodic baseline: keep the stream alive
+            // with a plain dummy access.
+            ActiveAccess d;
+            d.dummy = true;
+            d.label = posMap_.randomLabel();
+            current_ = d;
+        } else {
+            return;
+        }
+        // A cold pick never has retained levels beyond what the last
+        // write left; retainedLevels_ already reflects that.
+    }
+
+    // A committed dummy's read runs eagerly even when idle (it is
+    // off the critical path); its refill parks in finishRead.
+    phase_ = Phase::readWait;
+    Tick when = eq_.now() + params_.idleGapTicks;
+    if (params_.periodicIntervalTicks != 0) {
+        // Pace accesses onto the fixed data-independent grid.
+        when = std::max(when, periodicNextStart_);
+        periodicNextStart_ =
+            when + params_.periodicIntervalTicks;
+    }
+    eq_.schedule(when, [this] {
+        if (phase_ == Phase::readWait)
+            startRead();
+    });
+}
+
+OramController::ActiveAccess
+OramController::toActive(const LabelEntry &entry)
+{
+    if (entry.dummy) {
+        ActiveAccess acc;
+        acc.dummy = true;
+        acc.label = entry.label;
+        return acc;
+    }
+    auto it = accessPool_.find(entry.token);
+    fp_assert(it != accessPool_.end(), "label entry without access");
+    ActiveAccess acc = it->second;
+    accessPool_.erase(it);
+    return acc;
+}
+
+void
+OramController::startRead()
+{
+    fp_assert(current_.has_value(), "startRead without current");
+    phase_ = Phase::reading;
+    readStartTick_ = eq_.now();
+    readStartLevel_ =
+        params_.enableMerging ? retainedLevels_ : 0;
+    fp_dtrace(oram, "read  label=%llu start_level=%u%s",
+              static_cast<unsigned long long>(current_->label),
+              readStartLevel_, current_->dummy ? " (dummy)" : "");
+    dramBucketsThisRead_ = 0;
+    fp_assert(outstandingReads_ == 0, "reads leak across accesses");
+
+    for (unsigned level = readStartLevel_;
+         level <= geo_.leafLevel(); ++level) {
+        readBucketAt(level);
+    }
+    if (outstandingReads_ == 0) {
+        // Entire read phase served on chip (or zero-length fork).
+        eq_.scheduleIn(0, [this] {
+            if (phase_ == Phase::reading && outstandingReads_ == 0)
+                finishRead();
+        });
+    }
+}
+
+void
+OramController::readBucketAt(unsigned level)
+{
+    BucketIndex idx = geo_.bucketAt(current_->label, level);
+
+    if (treetop_ && treetop_->covers(level)) {
+        mem::Bucket bucket = store_.readBucket(idx);
+        if (merkle_)
+            integrityRead_[level] = bucket;
+        ingestBucket(std::move(bucket));
+        onChipBucketReads_.inc();
+        return;
+    }
+    if (mac_ && mac_->inRange(level)) {
+        if (auto bucket = mac_->extract(idx)) {
+            if (merkle_)
+                integrityRead_[level] = *bucket;
+            ingestBucket(std::move(*bucket));
+            onChipBucketReads_.inc();
+            return;
+        }
+    }
+
+    {
+        mem::Bucket bucket = store_.readBucket(idx);
+        if (merkle_)
+            integrityRead_[level] = bucket;
+        ingestBucket(std::move(bucket));
+    }
+    ++dramBucketsThisRead_;
+    ++outstandingReads_;
+    dram::DramRequest req;
+    req.addr = layout_.physAddr(idx);
+    req.isWrite = false;
+    req.bursts = static_cast<unsigned>(params_.bucketBytes() /
+                                       dram_.params().org.burstBytes);
+    req.onComplete = [this](Tick) {
+        fp_assert(outstandingReads_ > 0, "read completion underflow");
+        if (--outstandingReads_ == 0 && phase_ == Phase::reading)
+            finishRead();
+    };
+    dram_.access(std::move(req));
+}
+
+void
+OramController::ingestBucket(mem::Bucket bucket)
+{
+    for (mem::Block &blk : bucket.takeAll())
+        stash_.insertOrIgnore(std::move(blk));
+}
+
+void
+OramController::finishRead()
+{
+    fp_assert(phase_ == Phase::reading, "finishRead out of phase");
+    if (merkle_) {
+        std::vector<mem::Bucket> slice(
+            integrityRead_.begin() + readStartLevel_,
+            integrityRead_.end());
+        if (!merkle_->verifySlice(current_->label, readStartLevel_,
+                                  slice)) {
+            fp_panic("integrity violation: path %llu failed Merkle "
+                     "verification (active attack detected)",
+                     static_cast<unsigned long long>(
+                         current_->label));
+        }
+    }
+    readLen_.sample(static_cast<double>(geo_.numLevels()) -
+                    readStartLevel_);
+    dramReadLen_.sample(static_cast<double>(dramBucketsThisRead_));
+    readDoneTick_ = eq_.now();
+
+    ActiveAccess &acc = *current_;
+    if (!acc.dummy) {
+        if (acc.chainIndex < params_.recursionDepth) {
+            // Position-map chain element: its "data" is the label of
+            // the next chain element, which can now be issued.
+            auto chain_it = llc_.find(acc.llcId);
+            fp_assert(chain_it != llc_.end(),
+                      "chain for retired LLC id");
+            if (plb_)
+                plb_->fill(chain_it->second.addr, acc.chainIndex);
+
+            ActiveAccess next;
+            next.dummy = false;
+            next.llcId = acc.llcId;
+            next.chainIndex = acc.chainIndex + 1;
+            if (next.chainIndex == params_.recursionDepth) {
+                next.addr = chain_it->second.addr;
+                next.label = posMap_.lookupOrAssign(next.addr);
+                next.newLeaf = posMap_.remap(next.addr);
+            } else {
+                next.label = posMap_.randomLabel();
+            }
+            if (!tryReplaceOrSwapPending(next))
+                enqueueAccess(next);
+        } else {
+            // Data element: install the block and answer the LLC.
+            auto it = llc_.find(acc.llcId);
+            fp_assert(it != llc_.end(), "data access for retired id");
+            LlcRequest &req = it->second;
+
+            mem::Block *blk = stash_.find(acc.addr);
+            if (!blk) {
+                // First touch: materialise a zeroed block.
+                stash_.insert(mem::Block(
+                    acc.addr, acc.newLeaf,
+                    std::vector<std::uint8_t>(
+                        params_.oram.payloadBytes, 0)));
+                blk = stash_.find(acc.addr);
+            } else {
+                blk->leaf = acc.newLeaf;
+            }
+            std::vector<std::uint8_t> data = blk->payload;
+            if (req.op == oram::Op::write)
+                blk->payload = req.payload;
+            respond(acc.llcId, data);
+        }
+    }
+
+    if (current_->dummy && !shouldRunBackend()) {
+        // Lazy refill: hold the dummy's write phase until there is a
+        // real request to merge it with (resumed by
+        // maybeStartBackend on the next arrival).
+        fp_dtrace(oram, "park  label=%llu awaiting real work",
+                  static_cast<unsigned long long>(current_->label));
+        phase_ = Phase::writeParked;
+        return;
+    }
+
+    phase_ = Phase::idleGap;
+    eq_.scheduleIn(params_.idleGapTicks, [this] {
+        if (phase_ == Phase::idleGap)
+            startWrite();
+    });
+}
+
+void
+OramController::startWrite()
+{
+    fp_assert(current_.has_value(), "startWrite without current");
+    phase_ = Phase::writing;
+    writePhaseActive_ = true;
+    writeStartTick_ = eq_.now();
+    fp_assert(outstandingWrites_ == 0, "writes leak across accesses");
+
+    if (params_.enableMerging) {
+        labelQueue_.ensureFull();
+        auto entry = labelQueue_.selectNext(current_->label);
+        fp_assert(entry.has_value(), "full queue returned nothing");
+        pending_ = toActive(*entry);
+        writeStopLevel_ = std::min<unsigned>(
+            geo_.overlap(current_->label, pending_->label),
+            geo_.numLevels());
+        fp_dtrace(sched,
+                  "pending label=%llu%s overlap=%u (queue real=%zu)",
+                  static_cast<unsigned long long>(pending_->label),
+                  pending_->dummy ? " (dummy)" : "",
+                  writeStopLevel_, labelQueue_.realCount());
+    } else {
+        pending_.reset();
+        writeStopLevel_ = 0;
+    }
+
+    fp_dtrace(oram, "write label=%llu stop_level=%u",
+              static_cast<unsigned long long>(current_->label),
+              writeStopLevel_);
+    nextWriteLevel_ = static_cast<int>(geo_.leafLevel());
+    issueMoreWrites();
+}
+
+void
+OramController::issueMoreWrites()
+{
+    if (!writePhaseActive_)
+        return;
+    while (outstandingWrites_ < params_.writeWindow &&
+           nextWriteLevel_ >= static_cast<int>(writeStopLevel_)) {
+        writeBucketAt(static_cast<unsigned>(nextWriteLevel_));
+        --nextWriteLevel_;
+    }
+    checkWriteDone();
+}
+
+void
+OramController::writeBucketAt(unsigned level)
+{
+    BucketIndex idx = geo_.bucketAt(current_->label, level);
+    bucketsWritten_.inc();
+
+    mem::Bucket bucket(params_.oram.z);
+    for (mem::Block &blk :
+         stash_.evictForBucket(current_->label, level,
+                               params_.oram.z)) {
+        bucket.add(std::move(blk));
+    }
+    if (merkle_)
+        integrityWrite_[level] = bucket;
+
+    if (treetop_ && treetop_->covers(level)) {
+        store_.writeBucket(idx, bucket);
+        return; // on-chip, no DRAM traffic
+    }
+
+    bool dram_write = true;
+    if (mac_ && mac_->inRange(level)) {
+        auto victim = mac_->insert(idx, std::move(bucket));
+        dram_write = false;
+        if (victim) {
+            // Write the displaced bucket back to memory instead.
+            store_.writeBucket(victim->idx, std::move(victim->bucket));
+            macVictimWrites_.inc();
+            idx = victim->idx;
+            dram_write = true;
+        }
+    } else {
+        store_.writeBucket(idx, bucket);
+    }
+
+    if (!dram_write)
+        return;
+
+    dramBucketWrites_.inc();
+    ++outstandingWrites_;
+    dram::DramRequest req;
+    req.addr = layout_.physAddr(idx);
+    req.isWrite = true;
+    req.bursts = static_cast<unsigned>(params_.bucketBytes() /
+                                       dram_.params().org.burstBytes);
+    req.onComplete = [this](Tick) {
+        fp_assert(outstandingWrites_ > 0, "write completion underflow");
+        --outstandingWrites_;
+        issueMoreWrites();
+    };
+    dram_.access(std::move(req));
+}
+
+void
+OramController::checkWriteDone()
+{
+    if (!writePhaseActive_)
+        return;
+    if (nextWriteLevel_ >= static_cast<int>(writeStopLevel_))
+        return;
+    if (outstandingWrites_ > 0)
+        return;
+    finishWrite();
+}
+
+void
+OramController::finishWrite()
+{
+    writePhaseActive_ = false;
+    phase_ = Phase::idle;
+
+    if (merkle_ && writeStopLevel_ < geo_.numLevels()) {
+        std::vector<mem::Bucket> slice(
+            integrityWrite_.begin() + writeStopLevel_,
+            integrityWrite_.end());
+        merkle_->updateSlice(current_->label, writeStopLevel_,
+                             slice);
+    }
+
+    dramService_.sample(
+        fp::ticksToNs((readDoneTick_ - readStartTick_) +
+                      (eq_.now() - writeStartTick_)));
+    if (current_->dummy)
+        dummyAccesses_.inc();
+    else
+        realAccesses_.inc();
+
+    if (revealTraceEnabled_) {
+        revealTrace_.push_back({current_->label, readStartLevel_,
+                                writeStopLevel_, current_->dummy,
+                                readStartTick_});
+    }
+
+    stash_.recordOccupancy();
+    prevLabel_ = current_->label;
+    retainedLevels_ = writeStopLevel_;
+
+    if (params_.enableMerging) {
+        current_ = pending_;
+        pending_.reset();
+    } else {
+        current_.reset();
+    }
+
+    pumpFrontend();
+    maybeStartBackend();
+}
+
+} // namespace fp::core

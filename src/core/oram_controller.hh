@@ -1,0 +1,402 @@
+/**
+ * @file
+ * The Fork Path ORAM controller (paper Section 4, Figure 9), combining
+ * every technique of the paper behind feature flags so the same
+ * machine serves as the traditional-Path-ORAM baseline:
+ *
+ *  - an address queue with the four hazard rules;
+ *  - a position map (flat on-chip; hierarchical recursion is modelled
+ *    as chains of uniformly-labelled accesses per LLC miss);
+ *  - a label queue with overlap scheduling, dummy padding, aging and
+ *    dummy label replacing (Algorithm 1);
+ *  - path merging: the write (refill) phase of the current access
+ *    stops at its overlap with the scheduled next access, and the next
+ *    read phase starts exactly there (the fork shape);
+ *  - merging-aware or treetop caching between the stash and DRAM.
+ *
+ * The controller is event-driven against a DramSystem for timing and
+ * carries real blocks through the stash/TreeStore for functional
+ * correctness; both concerns are exercised by one code path.
+ *
+ * Phase machine per ORAM access (Figure 1(c)):
+ *
+ *   readIssue -> [DRAM reads] -> readDone -(idle gap)-> writeIssue
+ *     -> [windowed DRAM writes, leaf -> stop level] -> writeDone
+ *
+ * The scheduled next access is chosen at writeIssue (its overlap with
+ * the current path defines the refill stop level); while the refill
+ * has not yet issued the crossing bucket, a dummy `pending` may still
+ * be replaced by a late-arriving real request (Cases 1-3 of Section
+ * 3.3). When an access's write completes with a dummy `pending` and
+ * no real work exists anywhere, the controller parks: the committed
+ * dummy runs when the next real request arrives (its refill stop
+ * already revealed it, so it cannot be skipped).
+ */
+
+#ifndef FP_CORE_ORAM_CONTROLLER_HH
+#define FP_CORE_ORAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/address_queue.hh"
+#include "core/label_queue.hh"
+#include "core/merging_cache.hh"
+#include "core/plb.hh"
+#include "dram/dram_system.hh"
+#include "mem/tree_store.hh"
+#include "oram/oram_params.hh"
+#include "oram/integrity.hh"
+#include "oram/position_map.hh"
+#include "oram/stash.hh"
+#include "oram/treetop_cache.hh"
+#include "util/event_queue.hh"
+#include "util/stats.hh"
+
+namespace fp::core
+{
+
+enum class CachePolicy
+{
+    none,
+    treetop,
+    mac,
+};
+
+struct ControllerParams
+{
+    oram::OramParams oram;
+
+    // --- Fork Path features -------------------------------------------
+    bool enableMerging = true;
+    unsigned labelQueueSize = 64;
+    /**
+     * Selection rounds a real request may lose to better-overlapping
+     * entries before it is force-promoted (the Cnt threshold of
+     * Figure 9). Small values bound the dummy-competition penalty of
+     * low-intensity workloads; large values let the overlap
+     * heuristic act freely under backlog.
+     */
+    unsigned agingThreshold = 4;
+    DummySelectPolicy dummyPolicy = DummySelectPolicy::compete;
+    bool enableDummyReplacing = true;
+
+    // --- caching -------------------------------------------------------
+    CachePolicy cachePolicy = CachePolicy::none;
+    std::uint64_t cacheBudgetBytes = std::uint64_t{1} << 20;
+    unsigned macBucketsPerSet = 2;
+    /** Bottom MAC level; -1 derives m1 from the queue size. */
+    int macM1 = -1;
+
+    // --- structure -------------------------------------------------------
+    /** Position-map recursion levels modelled as access chains. */
+    unsigned recursionDepth = 0;
+    /** Translations per posmap block (PLB geometry). */
+    unsigned recursionFanout = 8;
+    /** PLB capacity in translations (0 = no PLB). */
+    std::size_t plbEntries = 0;
+    std::size_t addressQueueSize = 128;
+
+    /**
+     * Background eviction (Ren et al.): while the stash is at or
+     * above its soft capacity, keep running dummy accesses instead
+     * of parking, draining blocks back into the tree.
+     */
+    bool backgroundEviction = true;
+
+    /**
+     * Maintain and check a Merkle hash tree over the ORAM tree
+     * (paper Section 2.2's combinable integrity protection). A
+     * failed verification is a detected active attack and panics.
+     */
+    bool enableIntegrity = false;
+
+    // --- timing ----------------------------------------------------------
+    /** Outstanding bucket writes during a refill (paces commitment). */
+    unsigned writeWindow = 4;
+    /** Gap between read and write phases (Figure 1(c) idle). */
+    Tick idleGapTicks = 10'000; // 10 ns
+
+    /**
+     * Periodic (nonstop-stream) operation, paper Section 2.2: when
+     * non-zero, an ORAM access starts every this many ticks whether
+     * or not real requests exist, fully sealing the timing channel.
+     * 0 = demand-driven operation (what the paper's evaluation
+     * uses). In periodic mode the event queue never drains; drive
+     * the simulation with a bounded run.
+     */
+    Tick periodicIntervalTicks = 0;
+    /** DRAM footprint of one block (meta folded in). */
+    std::uint64_t blockPhysBytes = 64;
+    dram::LayoutPolicy layout = dram::LayoutPolicy::subtree;
+
+    std::uint64_t bucketBytes() const
+    {
+        return blockPhysBytes * oram.z;
+    }
+
+    /** The paper's traditional (baseline) Path ORAM configuration. */
+    static ControllerParams traditional();
+
+    /** The paper's default Fork Path configuration (queue 64). */
+    static ControllerParams forkPath();
+};
+
+/** Revealed (adversary-visible) shape of one ORAM access. */
+struct RevealedAccess
+{
+    LeafLabel label = invalidLeaf;
+    unsigned readStartLevel = 0;  //!< First level fetched (fork point).
+    unsigned writeStopLevel = 0;  //!< Last level refilled toward root.
+    bool dummy = false;
+    Tick readStartTick = 0;       //!< Bus-visible start time.
+};
+
+class OramController
+{
+  public:
+    using DataCallback =
+        std::function<void(Tick, const std::vector<std::uint8_t> &)>;
+
+    OramController(const ControllerParams &params, EventQueue &eq,
+                   dram::DramSystem &dram);
+    ~OramController();
+
+    /** True if a new LLC request can be accepted right now. */
+    bool canAccept() const;
+
+    /**
+     * Submit an LLC request.
+     * @return the request id (0 when rejected; retry later).
+     */
+    std::uint64_t request(oram::Op op, BlockAddr addr,
+                          std::vector<std::uint8_t> payload,
+                          DataCallback cb);
+
+    /** Real requests accepted but not yet answered. */
+    std::size_t inFlight() const { return outstandingLlc_; }
+    bool busy() const { return outstandingLlc_ > 0; }
+
+    // --- experiment metrics ---------------------------------------------
+    /** Per-LLC-request completion latency (ns), queueing included. */
+    const fp::Histogram &oramLatency() const { return llcLatency_; }
+
+    /** Average tree-path length fetched per ORAM access (buckets). */
+    double avgReadPathLength() const { return readLen_.mean(); }
+
+    /** Average buckets actually fetched from DRAM per access. */
+    double avgDramBucketsRead() const { return dramReadLen_.mean(); }
+
+    /** Average DRAM busy time per ORAM access (ns, read+write). */
+    double avgDramServiceNs() const { return dramService_.mean(); }
+
+    std::uint64_t realAccesses() const { return realAccesses_.value(); }
+    std::uint64_t dummyAccessesRun() const
+    {
+        return dummyAccesses_.value();
+    }
+    std::uint64_t totalAccesses() const
+    {
+        return realAccesses_.value() + dummyAccesses_.value();
+    }
+    std::uint64_t dummyReplacements() const
+    {
+        return dummyReplacements_.value();
+    }
+    std::uint64_t pendingSwaps() const { return pendingSwaps_.value(); }
+    std::uint64_t stashShortcuts() const
+    {
+        return stashShortcuts_.value();
+    }
+    std::uint64_t bucketsReadTotal() const
+    {
+        return static_cast<std::uint64_t>(readLen_.sum());
+    }
+    std::uint64_t bucketsWrittenTotal() const
+    {
+        return bucketsWritten_.value();
+    }
+    std::uint64_t dramBucketWrites() const
+    {
+        return dramBucketWrites_.value();
+    }
+    std::uint64_t onChipBucketReads() const
+    {
+        return onChipBucketReads_.value();
+    }
+
+    // --- component access (tests, examples) ------------------------------
+    const ControllerParams &params() const { return params_; }
+    const mem::TreeGeometry &geometry() const { return geo_; }
+    oram::Stash &stash() { return stash_; }
+    mem::TreeStore &store() { return store_; }
+    oram::PositionMap &positionMap() { return posMap_; }
+    LabelQueue &labelQueue() { return labelQueue_; }
+    AddressQueue &addressQueue() { return addrQueue_; }
+    MergingAwareCache *mac() { return mac_.get(); }
+    const oram::TreetopCache *treetop() const { return treetop_.get(); }
+    oram::MerkleTree *merkle() { return merkle_.get(); }
+    PosmapLookasideBuffer *plb() { return plb_.get(); }
+
+    /** Record the adversary-visible access shapes (security tests). */
+    void setRevealTraceEnabled(bool enabled)
+    {
+        revealTraceEnabled_ = enabled;
+    }
+    const std::vector<RevealedAccess> &revealTrace() const
+    {
+        return revealTrace_;
+    }
+
+    fp::StatGroup &stats() { return stats_; }
+
+  private:
+    /** One ORAM access being processed or scheduled next. */
+    struct ActiveAccess
+    {
+        LeafLabel label = invalidLeaf;
+        bool dummy = true;
+        std::uint64_t llcId = 0;       //!< Owning LLC request.
+        unsigned chainIndex = 0;       //!< Recursion chain position.
+        BlockAddr addr = invalidBlockAddr; //!< Data element only.
+        LeafLabel newLeaf = invalidLeaf;   //!< Remap target.
+    };
+
+    /** A live LLC request. */
+    struct LlcRequest
+    {
+        std::uint64_t id = 0;
+        BlockAddr addr = invalidBlockAddr;
+        oram::Op op = oram::Op::read;
+        std::vector<std::uint8_t> payload;
+        Tick arrival = 0;
+        DataCallback cb;
+    };
+
+    enum class Phase
+    {
+        idle,       //!< Nothing in the backend.
+        readWait,   //!< Read phase scheduled, not yet started.
+        reading,
+        idleGap,    //!< Between read and write phases.
+        writing,
+        /**
+         * Eager-read / lazy-refill park: a committed dummy has
+         * finished its read phase with no real work anywhere, so its
+         * refill waits. When a real request arrives, the refill runs
+         * with that request as its merge target — the dummy's read
+         * happened off the critical path during idle time.
+         */
+        writeParked,
+    };
+
+    // --- frontend --------------------------------------------------------
+    void pumpFrontend();
+    bool tryMacDataHit(AddressEntry &entry);
+    bool tryReplaceOrSwapPending(const ActiveAccess &incoming);
+    void enqueueAccess(const ActiveAccess &access);
+    bool realWorkPending() const;
+    bool shouldRunBackend() const;
+    void respond(std::uint64_t llc_id,
+                 const std::vector<std::uint8_t> &data);
+    ActiveAccess toActive(const LabelEntry &entry);
+
+    // --- backend phase machine --------------------------------------------
+    void maybeStartBackend();
+    void startRead();
+    void finishRead();
+    void startWrite();
+    void issueMoreWrites();
+    void checkWriteDone();
+    void finishWrite();
+
+    /** Fetch one bucket of the current path (cache-aware). */
+    void readBucketAt(unsigned level);
+    /** Refill one bucket of the current path (cache-aware). */
+    void writeBucketAt(unsigned level);
+    /** Move a fetched bucket's blocks into the stash. */
+    void ingestBucket(mem::Bucket bucket);
+
+    ControllerParams params_;
+    EventQueue &eq_;
+    dram::DramSystem &dram_;
+
+    mem::TreeGeometry geo_;
+    oram::PositionMap posMap_;
+    oram::Stash stash_;
+    mem::TreeStore store_;
+    dram::BucketLayout layout_;
+    std::unique_ptr<oram::TreetopCache> treetop_;
+    std::unique_ptr<MergingAwareCache> mac_;
+    std::unique_ptr<oram::MerkleTree> merkle_;
+    std::unique_ptr<PosmapLookasideBuffer> plb_;
+
+    /** Per-phase bucket captures for integrity (indexed by level). */
+    std::vector<mem::Bucket> integrityRead_;
+    std::vector<mem::Bucket> integrityWrite_;
+
+    AddressQueue addrQueue_;
+    LabelQueue labelQueue_;
+    Rng rng_;
+
+    std::unordered_map<std::uint64_t, LlcRequest> llc_;
+    std::uint64_t nextId_ = 1;
+    std::size_t outstandingLlc_ = 0;
+
+    /** Real accesses parked in the label queue, keyed by token. */
+    std::unordered_map<std::uint64_t, ActiveAccess> accessPool_;
+    std::uint64_t nextToken_ = 1;
+
+    // Backend state.
+    Phase phase_ = Phase::idle;
+    std::optional<ActiveAccess> current_;
+    std::optional<ActiveAccess> pending_;
+
+    /** Fork point: first level the next read phase must fetch. */
+    unsigned retainedLevels_ = 0;
+    LeafLabel prevLabel_ = 0;
+
+    /** Next access slot in periodic mode. */
+    Tick periodicNextStart_ = 0;
+
+    // Read phase bookkeeping.
+    unsigned outstandingReads_ = 0;
+    Tick readStartTick_ = 0;
+    Tick readDoneTick_ = 0;
+    unsigned readStartLevel_ = 0;
+    unsigned dramBucketsThisRead_ = 0;
+
+    // Write phase bookkeeping.
+    unsigned writeStopLevel_ = 0;
+    int nextWriteLevel_ = -1;     //!< Next level to issue (downward).
+    unsigned outstandingWrites_ = 0;
+    Tick writeStartTick_ = 0;
+    bool writePhaseActive_ = false;
+
+    bool revealTraceEnabled_ = false;
+    std::vector<RevealedAccess> revealTrace_;
+
+    // Stats.
+    fp::Histogram llcLatency_;
+    fp::Average readLen_;
+    fp::Average dramReadLen_;
+    fp::Average dramService_;
+    fp::Counter realAccesses_;
+    fp::Counter dummyAccesses_;
+    fp::Counter dummyReplacements_;
+    fp::Counter pendingSwaps_;
+    fp::Counter stashShortcuts_;
+    fp::Counter onChipBucketReads_;
+    fp::Counter macVictimWrites_;
+    fp::Counter bucketsWritten_;
+    fp::Counter dramBucketWrites_;
+    fp::StatGroup stats_;
+};
+
+} // namespace fp::core
+
+#endif // FP_CORE_ORAM_CONTROLLER_HH

@@ -1,0 +1,82 @@
+#include "core/plb.hh"
+
+#include "util/logging.hh"
+
+namespace fp::core
+{
+
+PosmapLookasideBuffer::PosmapLookasideBuffer(unsigned depth,
+                                             unsigned fanout,
+                                             std::size_t capacity)
+    : depth_(depth), fanout_(fanout), capacity_(capacity)
+{
+    fp_assert(depth >= 1, "PLB without recursion is meaningless");
+    fp_assert(fanout >= 2, "PLB: fanout must be >= 2");
+    fp_assert(capacity >= 1, "PLB: zero capacity");
+}
+
+std::uint64_t
+PosmapLookasideBuffer::keyFor(BlockAddr addr,
+                              unsigned chain_index) const
+{
+    // Chain element i consumes the translation group of recursion
+    // level depth - i and produces the one of level depth - i - 1
+    // (the data element, i = depth, produces nothing). The group id
+    // is addr / fanout^(depth - i).
+    unsigned level = depth_ - chain_index;
+    std::uint64_t group = addr;
+    for (unsigned j = 0; j < level; ++j)
+        group /= fanout_;
+    // Tag with the level so groups of different levels don't alias.
+    return (group << 4) | level;
+}
+
+unsigned
+PosmapLookasideBuffer::lookupChainStart(BlockAddr addr)
+{
+    // Find the deepest cached translation, scanning from the data
+    // end of the chain upward. Element i can be skipped if the
+    // translation produced by element i-1 is cached; we return the
+    // first element that still must run.
+    for (unsigned start = depth_; start >= 1; --start) {
+        std::uint64_t key = keyFor(addr, start - 1);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            touch(key);
+            hits_.inc();
+            return start;
+        }
+    }
+    misses_.inc();
+    return 0;
+}
+
+void
+PosmapLookasideBuffer::fill(BlockAddr addr, unsigned chain_index)
+{
+    if (chain_index >= depth_)
+        return; // the data element produces no translation
+    std::uint64_t key = keyFor(addr, chain_index);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        touch(key);
+        return;
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    if (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+void
+PosmapLookasideBuffer::touch(std::uint64_t key)
+{
+    auto it = map_.find(key);
+    fp_assert(it != map_.end(), "PLB touch of absent key");
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+}
+
+} // namespace fp::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PosMap Lookaside Buffer (PLB), after Fletcher et al.'s Freecursive
+ * ORAM — the work the paper's unified hierarchical baseline builds
+ * on, which reports that a PLB removes ~95 % of position-map memory
+ * accesses.
+ *
+ * With a hierarchical position map, an LLC miss becomes a chain of
+ * ORAM accesses: outermost posmap level first, data last. The PLB
+ * caches recent posmap translations by (recursion level, block
+ * group); a hit at level j means the chain can skip every element at
+ * level >= j and start right below it. In this simulator's modelled
+ * recursion the skipped elements simply are not issued, shortening
+ * the chain the timing model charges.
+ *
+ * Security note (from Freecursive): PLB hits change which tree is
+ * accessed per miss; in the unified design all levels live in one
+ * tree with indistinguishable accesses, so only the *number* of
+ * accesses varies — the same class of information as the LLC
+ * hit/miss count the baseline already accepts.
+ */
+
+#ifndef FP_CORE_PLB_HH
+#define FP_CORE_PLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace fp::core
+{
+
+class PosmapLookasideBuffer
+{
+  public:
+    /**
+     * @param depth    Recursion depth (posmap levels).
+     * @param fanout   Translations per posmap block.
+     * @param capacity Cached translations (LRU).
+     */
+    PosmapLookasideBuffer(unsigned depth, unsigned fanout,
+                          std::size_t capacity);
+
+    /**
+     * Deepest chain element whose inputs are cached: returns the
+     * chain index to start issuing from (0 = outermost posmap
+     * element, depth = the data access itself).
+     */
+    unsigned lookupChainStart(BlockAddr addr);
+
+    /**
+     * Record that the chain element at @p chain_index completed for
+     * @p addr, caching the translation it produced.
+     */
+    void fill(BlockAddr addr, unsigned chain_index);
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    /** Key of the translation produced by chain element @p index. */
+    std::uint64_t keyFor(BlockAddr addr, unsigned chain_index) const;
+
+    void touch(std::uint64_t key);
+
+    unsigned depth_;
+    unsigned fanout_;
+    std::size_t capacity_;
+
+    /** LRU list of keys, most recent at the front. */
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        map_;
+
+    fp::Counter hits_;
+    fp::Counter misses_;
+};
+
+} // namespace fp::core
+
+#endif // FP_CORE_PLB_HH

@@ -1,0 +1,52 @@
+#include "crypto/counter_mode.hh"
+
+namespace fp::crypto
+{
+
+CounterModeCipher::CounterModeCipher(std::uint64_t key_seed)
+    : cipher_(key_seed)
+{
+}
+
+SealedBlock
+CounterModeCipher::encrypt(const std::vector<std::uint8_t> &plaintext,
+                           std::uint64_t nonce)
+{
+    SealedBlock sealed;
+    sealed.nonce = nonce;
+    sealed.counter = nextCounter_++;
+    sealed.bytes = plaintext;
+    applyKeystream(sealed.bytes, sealed.nonce, sealed.counter);
+    return sealed;
+}
+
+std::vector<std::uint8_t>
+CounterModeCipher::decrypt(const SealedBlock &sealed) const
+{
+    std::vector<std::uint8_t> plain = sealed.bytes;
+    applyKeystream(plain, sealed.nonce, sealed.counter);
+    return plain;
+}
+
+void
+CounterModeCipher::applyKeystream(std::vector<std::uint8_t> &data,
+                                  std::uint64_t nonce,
+                                  std::uint64_t counter) const
+{
+    // Each keystream block covers 8 bytes. The cipher input mixes the
+    // nonce, the per-encryption counter, and the intra-block index so
+    // every byte position gets an independent keystream.
+    const std::size_t n = data.size();
+    for (std::size_t off = 0; off < n; off += 8) {
+        std::uint64_t input = nonce * 0x9e3779b97f4a7c15ULL
+            ^ (counter << 20)
+            ^ static_cast<std::uint64_t>(off / 8);
+        std::uint64_t ks = cipher_.encryptBlock(input);
+        for (std::size_t i = 0; i < 8 && off + i < n; ++i) {
+            data[off + i] ^=
+                static_cast<std::uint8_t>(ks >> (8 * i));
+        }
+    }
+}
+
+} // namespace fp::crypto

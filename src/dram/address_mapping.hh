@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Physical address decomposition and the ORAM bucket layouts.
+ *
+ * Two layers:
+ *
+ *  - AddressMapping: byte address -> (channel, bank, row, column),
+ *    with row-granularity channel interleaving so that one ORAM
+ *    subtree (= one row) lives entirely in one channel and
+ *    consecutive subtrees rotate across channels and banks.
+ *
+ *  - BucketLayout: ORAM bucket index -> byte address. The `linear`
+ *    policy packs buckets in heap order (a path touches ~L different
+ *    rows). The `subtree` policy is Ren et al.'s layout, adopted by
+ *    the paper: the tree is chopped into k-level subtrees, each padded
+ *    to 2^k buckets so a whole subtree fits exactly in one DRAM row;
+ *    a path then touches only ceil((L+1)/k) rows, which is where the
+ *    row-buffer hit-rate advantage in Fig. 10 comes from.
+ */
+
+#ifndef FP_DRAM_ADDRESS_MAPPING_HH
+#define FP_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+#include "mem/tree_geometry.hh"
+#include "util/types.hh"
+
+namespace fp::dram
+{
+
+/** Decoded location of a byte address. */
+struct DramLocation
+{
+    unsigned channel = 0;
+    unsigned bank = 0;      //!< Global bank id within the channel.
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;  //!< Byte offset within the row.
+};
+
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const DramOrganization &org);
+
+    DramLocation decode(Addr addr) const;
+
+  private:
+    DramOrganization org_;
+};
+
+/** Bucket-to-byte-address layout policy. */
+enum class LayoutPolicy
+{
+    linear,   //!< Heap order, no row awareness.
+    subtree,  //!< k-level subtrees packed one-per-row (Ren et al.).
+};
+
+class BucketLayout
+{
+  public:
+    /**
+     * @param geo           Tree geometry.
+     * @param bucket_bytes  Physical bytes per bucket (Z * block).
+     * @param row_bytes     DRAM row size, determines subtree depth.
+     * @param policy        Layout policy.
+     */
+    BucketLayout(const mem::TreeGeometry &geo,
+                 std::uint64_t bucket_bytes, std::uint64_t row_bytes,
+                 LayoutPolicy policy);
+
+    /** Physical byte address of a bucket. */
+    Addr physAddr(BucketIndex idx) const;
+
+    /** Levels per subtree (1 for the linear policy). */
+    unsigned subtreeLevels() const { return subtreeLevels_; }
+
+    LayoutPolicy policy() const { return policy_; }
+    std::uint64_t bucketBytes() const { return bucketBytes_; }
+
+  private:
+    mem::TreeGeometry geo_;
+    std::uint64_t bucketBytes_;
+    std::uint64_t rowBytes_;
+    LayoutPolicy policy_;
+    unsigned subtreeLevels_ = 1;
+};
+
+} // namespace fp::dram
+
+#endif // FP_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,73 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+namespace fp::dram
+{
+
+Bank::Bank(const DramTiming &timing, PagePolicy policy)
+    : t_(timing), policy_(policy)
+{
+}
+
+AccessPlan
+Bank::plan(std::uint64_t row, bool is_write, Tick earliest,
+           Tick act_allowed_at) const
+{
+    AccessPlan p;
+    if (openRowValid_ && openRow_ == row) {
+        p.rowHit = true;
+        p.casAt = std::max(earliest, nextCasAt_);
+    } else {
+        // Row miss: PRE (if a row is open) then ACT then CAS.
+        Tick pre_at = earliest;
+        Tick act_at;
+        if (openRowValid_) {
+            pre_at = std::max({earliest, preReadyAt_,
+                               actTick_ + t_.cycles(t_.tRAS)});
+            act_at = pre_at + t_.cycles(t_.tRP);
+        } else {
+            // Closed bank: wait out any in-flight auto-precharge.
+            act_at = std::max(earliest, actReadyAt_);
+        }
+        act_at = std::max(act_at, act_allowed_at);
+        p.actAt = act_at;
+        p.casAt = act_at + t_.cycles(t_.tRCD);
+    }
+    p.firstData =
+        p.casAt + t_.cycles(is_write ? t_.cwl : t_.cl);
+    return p;
+}
+
+void
+Bank::commit(const AccessPlan &plan, std::uint64_t row, bool is_write,
+             unsigned num_bursts)
+{
+    if (!plan.rowHit)
+        actTick_ = plan.actAt;
+    openRowValid_ = true;
+    openRow_ = row;
+
+    Tick last_cas =
+        plan.casAt + t_.cycles(t_.tCCD) * (num_bursts - 1);
+    nextCasAt_ = last_cas + t_.cycles(t_.tCCD);
+
+    if (is_write) {
+        // PRE must wait for write recovery after the last data beat.
+        preReadyAt_ = last_cas + t_.cycles(t_.cwl) +
+                      t_.cycles(t_.tBURST) + t_.cycles(t_.tWR);
+    } else {
+        preReadyAt_ = last_cas + t_.cycles(t_.tRTP);
+    }
+
+    if (policy_ == PagePolicy::closed) {
+        // Auto-precharge: the row closes itself after recovery; the
+        // next ACT must additionally wait tRP from that point.
+        openRowValid_ = false;
+        actReadyAt_ = std::max({preReadyAt_,
+                                actTick_ + t_.cycles(t_.tRAS)}) +
+                      t_.cycles(t_.tRP);
+    }
+}
+
+} // namespace fp::dram

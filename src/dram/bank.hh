@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-bank row-buffer state machine.
+ *
+ * The bank tracks its open row plus the earliest ticks at which the
+ * next CAS, PRE and ACT may legally be issued given the previous
+ * commands (tRCD/tRP/tRAS/tWR/tRTP/tCCD). The channel scheduler asks
+ * the bank for the timeline of a candidate access without committing,
+ * then commits the chosen one.
+ */
+
+#ifndef FP_DRAM_BANK_HH
+#define FP_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+#include "util/types.hh"
+
+namespace fp::dram
+{
+
+/** The command timeline of one scheduled access. */
+struct AccessPlan
+{
+    bool rowHit = false;
+    Tick actAt = 0;    //!< ACT issue time (0 and unused on a hit).
+    Tick casAt = 0;    //!< First CAS issue time.
+    Tick firstData = 0;//!< When the first burst may start (CAS + CL).
+};
+
+class Bank
+{
+  public:
+    Bank(const DramTiming &timing,
+         PagePolicy policy = PagePolicy::open);
+
+    /**
+     * Compute when an access to @p row could issue its commands if
+     * started no earlier than @p earliest, given an ACT-rate
+     * constraint @p act_allowed_at from the channel (tRRD/tFAW).
+     * Does not modify the bank.
+     */
+    AccessPlan plan(std::uint64_t row, bool is_write, Tick earliest,
+                    Tick act_allowed_at) const;
+
+    /**
+     * Commit a planned access of @p num_bursts bursts.
+     * @return the tick at which the last data beat could complete if
+     * the data bus were free (the channel applies bus contention on
+     * top).
+     */
+    void commit(const AccessPlan &plan, std::uint64_t row,
+                bool is_write, unsigned num_bursts);
+
+    bool rowOpen() const { return openRowValid_; }
+    std::uint64_t openRow() const { return openRow_; }
+
+    /** Forget the open row (used to approximate refresh closure). */
+    void closeRow() { openRowValid_ = false; }
+
+  private:
+    const DramTiming &t_;
+    PagePolicy policy_;
+
+    bool openRowValid_ = false;
+    std::uint64_t openRow_ = 0;
+
+    Tick actTick_ = 0;        //!< Last ACT time (for tRAS).
+    Tick nextCasAt_ = 0;      //!< Earliest next CAS (tCCD chain).
+    Tick preReadyAt_ = 0;     //!< Earliest PRE (tRTP / tWR rules).
+    Tick actReadyAt_ = 0;     //!< Earliest ACT after auto-precharge.
+};
+
+} // namespace fp::dram
+
+#endif // FP_DRAM_BANK_HH

@@ -1,0 +1,25 @@
+#include "dram/dram_params.hh"
+
+namespace fp::dram
+{
+
+double
+DramOrganization::peakBandwidth(const DramTiming &t) const
+{
+    // One burst of burstBytes every tBURST clocks per channel.
+    double burst_seconds =
+        static_cast<double>(t.cycles(t.tBURST)) /
+        static_cast<double>(fp::ticksPerSecond);
+    return static_cast<double>(burstBytes) / burst_seconds *
+           static_cast<double>(channels);
+}
+
+DramParams
+DramParams::ddr3_1600(unsigned channels)
+{
+    DramParams p;
+    p.org.channels = channels;
+    return p;
+}
+
+} // namespace fp::dram

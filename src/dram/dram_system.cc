@@ -1,0 +1,130 @@
+#include "dram/dram_system.hh"
+
+#include "util/logging.hh"
+
+namespace fp::dram
+{
+
+DramSystem::DramSystem(const DramParams &params, EventQueue &eq)
+    : params_(params), eq_(eq), mapping_(params.org)
+{
+    for (unsigned c = 0; c < params_.org.channels; ++c)
+        channels_.push_back(std::make_unique<Channel>(c, params_, eq));
+}
+
+void
+DramSystem::access(DramRequest req)
+{
+    DramLocation loc = mapping_.decode(req.addr);
+    Transaction tx;
+    tx.row = loc.row;
+    tx.bank = loc.bank;
+    tx.isWrite = req.isWrite;
+    tx.bursts = req.bursts;
+    tx.onComplete = std::move(req.onComplete);
+    channels_[loc.channel]->enqueue(std::move(tx));
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &ch : channels_)
+        if (!ch->idle())
+            return false;
+    return true;
+}
+
+std::size_t
+DramSystem::queueDepth() const
+{
+    std::size_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->queueDepth();
+    return total;
+}
+
+std::uint64_t
+DramSystem::rowHits() const
+{
+    std::uint64_t v = 0;
+    for (const auto &ch : channels_)
+        v += ch->rowHits();
+    return v;
+}
+
+std::uint64_t
+DramSystem::rowMisses() const
+{
+    std::uint64_t v = 0;
+    for (const auto &ch : channels_)
+        v += ch->rowMisses();
+    return v;
+}
+
+std::uint64_t
+DramSystem::readBursts() const
+{
+    std::uint64_t v = 0;
+    for (const auto &ch : channels_)
+        v += ch->readBursts();
+    return v;
+}
+
+std::uint64_t
+DramSystem::writeBursts() const
+{
+    std::uint64_t v = 0;
+    for (const auto &ch : channels_)
+        v += ch->writeBursts();
+    return v;
+}
+
+double
+DramSystem::avgLatencyNs() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_) {
+        sum += ch->latency().mean() *
+               static_cast<double>(ch->latency().count());
+        n += ch->latency().count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+EnergyBreakdown
+DramSystem::energy(Tick now) const
+{
+    const auto &e = params_.energy;
+    EnergyBreakdown out;
+    out.activateNj =
+        static_cast<double>(rowMisses()) * e.actPreNj;
+    out.readNj = static_cast<double>(readBursts()) * e.readBurstNj;
+    out.writeNj = static_cast<double>(writeBursts()) * e.writeBurstNj;
+
+    double seconds = static_cast<double>(now) /
+                     static_cast<double>(ticksPerSecond);
+    double refreshes_per_ch =
+        now == 0 ? 0.0
+                 : static_cast<double>(now) /
+                       static_cast<double>(
+                           params_.timing.cycles(params_.timing.tREFI));
+    out.refreshNj = refreshes_per_ch *
+                    static_cast<double>(params_.org.channels) *
+                    e.refreshNj;
+    // 1 mW * 1 s = 1 mJ = 1e6 nJ.
+    out.backgroundNj = e.backgroundMwPerRank *
+                       static_cast<double>(params_.org.channels) *
+                       static_cast<double>(params_.org.ranksPerChannel) *
+                       seconds * 1e6;
+    return out;
+}
+
+void
+DramSystem::resetStats()
+{
+    for (auto &ch : channels_)
+        ch->resetStats();
+}
+
+} // namespace fp::dram

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Front-end of the DRAM model: accepts byte-addressed requests,
+ * decodes them to (channel, bank, row) and forwards to the per-channel
+ * FR-FCFS schedulers. Also owns the energy accounting, which follows
+ * the command counters (ACT/RD/WR/refresh) plus a background term.
+ */
+
+#ifndef FP_DRAM_DRAM_SYSTEM_HH
+#define FP_DRAM_DRAM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "dram/channel.hh"
+#include "dram/dram_params.hh"
+#include "util/event_queue.hh"
+
+namespace fp::dram
+{
+
+/** A request at the DRAM boundary. */
+struct DramRequest
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    unsigned bursts = 1;             //!< 64 B bursts to transfer.
+    std::function<void(Tick)> onComplete;
+};
+
+/** Aggregate energy breakdown in nanojoules. */
+struct EnergyBreakdown
+{
+    double activateNj = 0.0;
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refreshNj = 0.0;
+    double backgroundNj = 0.0;
+
+    double total() const
+    {
+        return activateNj + readNj + writeNj + refreshNj +
+               backgroundNj;
+    }
+};
+
+class DramSystem
+{
+  public:
+    DramSystem(const DramParams &params, EventQueue &eq);
+
+    /** Issue a request. The completion callback runs at data arrival
+     *  (reads) or write completion (writes). */
+    void access(DramRequest req);
+
+    const DramParams &params() const { return params_; }
+    const AddressMapping &mapping() const { return mapping_; }
+
+    bool idle() const;
+    std::size_t queueDepth() const;
+
+    // --- aggregate statistics -----------------------------------------
+    std::uint64_t rowHits() const;
+    std::uint64_t rowMisses() const;
+    std::uint64_t readBursts() const;
+    std::uint64_t writeBursts() const;
+    double avgLatencyNs() const;
+
+    /** Energy consumed between tick 0 and @p now. */
+    EnergyBreakdown energy(Tick now) const;
+
+    Channel &channel(unsigned c) { return *channels_[c]; }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    void resetStats();
+
+  private:
+    DramParams params_;
+    EventQueue &eq_;
+    AddressMapping mapping_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace fp::dram
+
+#endif // FP_DRAM_DRAM_SYSTEM_HH

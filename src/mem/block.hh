@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The logical memory block moved between the stash, the ORAM tree and
+ * the merging-aware cache. Per the paper, a block carries its program
+ * address and current leaf label everywhere it goes (both are stored
+ * encrypted in external memory).
+ */
+
+#ifndef FP_MEM_BLOCK_HH
+#define FP_MEM_BLOCK_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace fp::mem
+{
+
+struct Block
+{
+    /** Program address; invalidBlockAddr marks a dummy/empty slot. */
+    BlockAddr addr = invalidBlockAddr;
+
+    /** Current leaf label this block is mapped to. */
+    LeafLabel leaf = invalidLeaf;
+
+    /**
+     * Data payload. Timing-only simulations run with empty payloads;
+     * functional tests and examples carry real bytes.
+     */
+    std::vector<std::uint8_t> payload;
+
+    Block() = default;
+
+    Block(BlockAddr a, LeafLabel l, std::vector<std::uint8_t> p = {})
+        : addr(a), leaf(l), payload(std::move(p))
+    {
+    }
+
+    /** True for a real data block (not a dummy). */
+    bool valid() const { return addr != invalidBlockAddr; }
+};
+
+} // namespace fp::mem
+
+#endif // FP_MEM_BLOCK_HH

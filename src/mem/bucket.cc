@@ -1,0 +1,24 @@
+#include "mem/bucket.hh"
+
+#include "util/logging.hh"
+
+namespace fp::mem
+{
+
+void
+Bucket::add(Block block)
+{
+    fp_assert(!full(), "bucket overflow (Z=%u)", z_);
+    fp_assert(block.valid(), "adding dummy block to bucket");
+    blocks_.push_back(std::move(block));
+}
+
+std::vector<Block>
+Bucket::takeAll()
+{
+    std::vector<Block> out = std::move(blocks_);
+    blocks_.clear();
+    return out;
+}
+
+} // namespace fp::mem

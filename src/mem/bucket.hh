@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A tree node's bucket: Z slots, each holding a real data block or a
+ * dummy. In external memory every slot is occupied (dummies are
+ * indistinguishable from data under probabilistic encryption); in the
+ * software model we only store the real blocks and know Z.
+ */
+
+#ifndef FP_MEM_BUCKET_HH
+#define FP_MEM_BUCKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/block.hh"
+
+namespace fp::mem
+{
+
+class Bucket
+{
+  public:
+    Bucket() = default;
+    explicit Bucket(unsigned z) : z_(z) {}
+
+    unsigned z() const { return z_; }
+
+    /** Number of real data blocks currently held. */
+    unsigned occupancy() const
+    {
+        return static_cast<unsigned>(blocks_.size());
+    }
+
+    bool full() const { return occupancy() >= z_; }
+    bool empty() const { return blocks_.empty(); }
+
+    /** Add a real block; bucket must not be full. */
+    void add(Block block);
+
+    /** All real blocks (dummies are implicit). */
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /** Move all real blocks out, leaving the bucket empty. */
+    std::vector<Block> takeAll();
+
+    /** Drop all real blocks. */
+    void clear() { blocks_.clear(); }
+
+  private:
+    unsigned z_ = 4;
+    std::vector<Block> blocks_;
+};
+
+} // namespace fp::mem
+
+#endif // FP_MEM_BUCKET_HH

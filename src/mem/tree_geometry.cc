@@ -1,0 +1,90 @@
+#include "mem/tree_geometry.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace fp::mem
+{
+
+TreeGeometry::TreeGeometry(unsigned leaf_level)
+    : leafLevel_(leaf_level)
+{
+    fp_assert(leaf_level < 63, "tree too deep: L=%u", leaf_level);
+}
+
+TreeGeometry
+TreeGeometry::forCapacity(std::uint64_t data_bytes,
+                          std::uint64_t block_bytes,
+                          double utilization, unsigned z)
+{
+    fp_assert(block_bytes > 0 && z > 0 && utilization > 0.0 &&
+                  utilization <= 1.0,
+              "forCapacity: bad parameters");
+    std::uint64_t data_blocks = data_bytes / block_bytes;
+    fp_assert(data_blocks > 0, "forCapacity: capacity below one block");
+    // Total slots needed so that data_blocks fill `utilization` of
+    // them; buckets hold z slots; the tree with leaf level L has
+    // 2^(L+1) - 1 buckets. Choose the smallest L that fits.
+    auto slots_needed = static_cast<std::uint64_t>(
+        static_cast<double>(data_blocks) / utilization);
+    std::uint64_t buckets_needed = (slots_needed + z - 1) / z;
+    // A tree of leaf level L holds 2^(L+1) - 1 buckets; following the
+    // paper's sizing (4 GB -> L = 24) the single-bucket shortfall of
+    // the "-1" is ignored, i.e. we require 2^(L+1) >= buckets.
+    unsigned level = 0;
+    while ((std::uint64_t{2} << level) < buckets_needed)
+        ++level;
+    return TreeGeometry(level);
+}
+
+BucketIndex
+TreeGeometry::bucketAt(LeafLabel label, unsigned level) const
+{
+    fp_assert(validLeaf(label), "bucketAt: bad label %llu",
+              static_cast<unsigned long long>(label));
+    fp_assert(level <= leafLevel_, "bucketAt: bad level %u", level);
+    std::uint64_t offset = label >> (leafLevel_ - level);
+    return ((std::uint64_t{1} << level) - 1) + offset;
+}
+
+unsigned
+TreeGeometry::levelOf(BucketIndex idx) const
+{
+    fp_assert(idx < numBuckets(), "levelOf: bad index");
+    return log2Floor(idx + 1);
+}
+
+std::uint64_t
+TreeGeometry::offsetInLevel(BucketIndex idx) const
+{
+    unsigned level = levelOf(idx);
+    return idx + 1 - (std::uint64_t{1} << level);
+}
+
+std::vector<BucketIndex>
+TreeGeometry::pathIndices(LeafLabel label) const
+{
+    std::vector<BucketIndex> out;
+    out.reserve(numLevels());
+    for (unsigned d = 0; d <= leafLevel_; ++d)
+        out.push_back(bucketAt(label, d));
+    return out;
+}
+
+unsigned
+TreeGeometry::overlap(LeafLabel a, LeafLabel b) const
+{
+    fp_assert(validLeaf(a) && validLeaf(b), "overlap: bad labels");
+    return numLevels() - bitWidth(a ^ b);
+}
+
+bool
+TreeGeometry::canReside(LeafLabel label, LeafLabel path_label,
+                        unsigned level) const
+{
+    fp_assert(level <= leafLevel_, "canReside: bad level");
+    return (label >> (leafLevel_ - level)) ==
+           (path_label >> (leafLevel_ - level));
+}
+
+} // namespace fp::mem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Geometry of the ORAM binary tree: level/offset arithmetic, path
+ * enumeration, and the path-overlap computation that the whole Fork
+ * Path scheme is built on.
+ *
+ * Conventions (matching the paper's Figure 1):
+ *  - Levels are numbered 0 (root) .. L (leaves); there are L+1 levels.
+ *  - Leaf labels are 0 .. 2^L - 1, left to right.
+ *  - "path-l" is the set of L+1 buckets from leaf l up to the root.
+ *  - Buckets are numbered in heap order: the bucket at (level d,
+ *    offset o) has index 2^d - 1 + o.
+ *
+ * The key identity: the ancestor of leaf l at level d has offset
+ * l >> (L - d), so two paths a and b share exactly
+ *
+ *     overlap(a, b) = L + 1 - bit_width(a XOR b)
+ *
+ * buckets (the root is always shared; identical labels share L+1).
+ */
+
+#ifndef FP_MEM_TREE_GEOMETRY_HH
+#define FP_MEM_TREE_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace fp::mem
+{
+
+class TreeGeometry
+{
+  public:
+    /** @param leaf_level L; the tree has L+1 levels. */
+    explicit TreeGeometry(unsigned leaf_level);
+
+    /**
+     * Build the geometry for a data capacity, matching the paper's
+     * sizing rule: @p data_bytes of useful data, a @p utilization
+     * fraction of tree slots holding real blocks, @p block_bytes per
+     * block and @p z slots per bucket. For the paper's 4 GB / 64 B /
+     * 50 % / Z=4 this yields L = 24 (path length 25).
+     */
+    static TreeGeometry forCapacity(std::uint64_t data_bytes,
+                                    std::uint64_t block_bytes,
+                                    double utilization, unsigned z);
+
+    unsigned leafLevel() const { return leafLevel_; }
+    unsigned numLevels() const { return leafLevel_ + 1; }
+    std::uint64_t numLeaves() const
+    {
+        return std::uint64_t{1} << leafLevel_;
+    }
+    std::uint64_t numBuckets() const
+    {
+        return (std::uint64_t{2} << leafLevel_) - 1;
+    }
+
+    /** Bucket index of the ancestor of leaf @p label at @p level. */
+    BucketIndex bucketAt(LeafLabel label, unsigned level) const;
+
+    /** Level of a bucket index. */
+    unsigned levelOf(BucketIndex idx) const;
+
+    /** Offset of a bucket within its level. */
+    std::uint64_t offsetInLevel(BucketIndex idx) const;
+
+    /** All bucket indices of path @p label, root (level 0) first. */
+    std::vector<BucketIndex> pathIndices(LeafLabel label) const;
+
+    /**
+     * Number of buckets shared by path @p a and path @p b; in
+     * [1, L+1]. This is the paper's "overlap degree".
+     */
+    unsigned overlap(LeafLabel a, LeafLabel b) const;
+
+    /**
+     * True iff a block mapped to leaf @p label may legally reside in
+     * the bucket at (@p level, offset of @p path_label's ancestor),
+     * i.e. the two paths share that bucket.
+     */
+    bool canReside(LeafLabel label, LeafLabel path_label,
+                   unsigned level) const;
+
+    /** True iff @p label is a valid leaf label. */
+    bool validLeaf(LeafLabel label) const
+    {
+        return label < numLeaves();
+    }
+
+    bool operator==(const TreeGeometry &other) const
+    {
+        return leafLevel_ == other.leafLevel_;
+    }
+
+  private:
+    unsigned leafLevel_;
+};
+
+} // namespace fp::mem
+
+#endif // FP_MEM_TREE_GEOMETRY_HH

@@ -1,0 +1,143 @@
+#include "mem/tree_store.hh"
+
+#include "util/logging.hh"
+
+namespace fp::mem
+{
+
+TreeStore::TreeStore(const TreeGeometry &geo, unsigned z,
+                     std::size_t payload_bytes, bool encrypt,
+                     std::uint64_t key_seed)
+    : geo_(geo), z_(z), payloadBytes_(payload_bytes),
+      stats_("tree_store")
+{
+    fp_assert(z > 0, "TreeStore: Z must be positive");
+    if (encrypt)
+        cipher_ = std::make_unique<crypto::CounterModeCipher>(key_seed);
+    stats_.regCounter("reads", reads_, "bucket reads");
+    stats_.regCounter("writes", writes_, "bucket writes");
+}
+
+Bucket
+TreeStore::readBucket(BucketIndex idx)
+{
+    fp_assert(idx < geo_.numBuckets(), "readBucket: bad index");
+    reads_.inc();
+    if (cipher_) {
+        auto it = sealed_.find(idx);
+        if (it == sealed_.end())
+            return Bucket(z_);
+        return deserialize(cipher_->decrypt(it->second));
+    }
+    auto it = plain_.find(idx);
+    if (it == plain_.end())
+        return Bucket(z_);
+    return it->second;
+}
+
+void
+TreeStore::writeBucket(BucketIndex idx, const Bucket &bucket)
+{
+    fp_assert(idx < geo_.numBuckets(), "writeBucket: bad index");
+    fp_assert(bucket.occupancy() <= z_, "writeBucket: overfull bucket");
+    writes_.inc();
+    if (cipher_) {
+        sealed_[idx] = cipher_->encrypt(serialize(bucket), idx);
+        return;
+    }
+    plain_[idx] = bucket;
+}
+
+std::size_t
+TreeStore::materializedBuckets() const
+{
+    return cipher_ ? sealed_.size() : plain_.size();
+}
+
+std::uint64_t
+TreeStore::residentBlocks() const
+{
+    std::uint64_t total = 0;
+    if (cipher_) {
+        for (const auto &[idx, sb] : sealed_) {
+            Bucket b = deserialize(cipher_->decrypt(sb));
+            total += b.occupancy();
+        }
+    } else {
+        for (const auto &[idx, b] : plain_)
+            total += b.occupancy();
+    }
+    return total;
+}
+
+std::vector<std::uint8_t>
+TreeStore::rawCiphertext(BucketIndex idx) const
+{
+    auto it = sealed_.find(idx);
+    if (it == sealed_.end())
+        return {};
+    return it->second.bytes;
+}
+
+std::vector<std::uint8_t>
+TreeStore::serialize(const Bucket &bucket) const
+{
+    // Fixed layout independent of occupancy, Z slots of
+    // (addr, leaf, payload); unused slots are dummies with
+    // invalidBlockAddr. A fixed size is essential: ciphertext length
+    // must not reveal how many real blocks the bucket holds.
+    const std::size_t slot = 16 + payloadBytes_;
+    std::vector<std::uint8_t> out(slot * z_, 0);
+    auto put64 = [&out](std::size_t off, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out[off + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    unsigned s = 0;
+    for (const auto &blk : bucket.blocks()) {
+        std::size_t base = slot * s++;
+        put64(base, blk.addr);
+        put64(base + 8, blk.leaf);
+        for (std::size_t i = 0;
+             i < payloadBytes_ && i < blk.payload.size(); ++i)
+            out[base + 16 + i] = blk.payload[i];
+    }
+    for (; s < z_; ++s)
+        put64(slot * s, invalidBlockAddr);
+    return out;
+}
+
+Bucket
+TreeStore::deserialize(const std::vector<std::uint8_t> &bytes) const
+{
+    const std::size_t slot = 16 + payloadBytes_;
+    fp_assert(bytes.size() == slot * z_,
+              "deserialize: bad bucket image size");
+    auto get64 = [&bytes](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     bytes[off + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        return v;
+    };
+    Bucket bucket(z_);
+    for (unsigned s = 0; s < z_; ++s) {
+        std::size_t base = slot * s;
+        std::uint64_t addr = get64(base);
+        if (addr == invalidBlockAddr)
+            continue;
+        Block blk;
+        blk.addr = addr;
+        blk.leaf = get64(base + 8);
+        blk.payload.assign(bytes.begin() +
+                               static_cast<std::ptrdiff_t>(base + 16),
+                           bytes.begin() +
+                               static_cast<std::ptrdiff_t>(base + 16 +
+                                                           payloadBytes_));
+        bucket.add(std::move(blk));
+    }
+    return bucket;
+}
+
+} // namespace fp::mem

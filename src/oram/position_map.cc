@@ -1,0 +1,54 @@
+#include "oram/position_map.hh"
+
+#include "util/logging.hh"
+
+namespace fp::oram
+{
+
+PositionMap::PositionMap(const mem::TreeGeometry &geo,
+                         std::uint64_t seed)
+    : geo_(geo), rng_(seed)
+{
+}
+
+bool
+PositionMap::contains(BlockAddr addr) const
+{
+    return map_.count(addr) > 0;
+}
+
+LeafLabel
+PositionMap::get(BlockAddr addr) const
+{
+    auto it = map_.find(addr);
+    fp_assert(it != map_.end(), "position map: unmapped address");
+    return it->second;
+}
+
+LeafLabel
+PositionMap::lookupOrAssign(BlockAddr addr)
+{
+    auto it = map_.find(addr);
+    if (it != map_.end())
+        return it->second;
+    LeafLabel l = randomLabel();
+    map_.emplace(addr, l);
+    return l;
+}
+
+LeafLabel
+PositionMap::remap(BlockAddr addr)
+{
+    auto it = map_.find(addr);
+    fp_assert(it != map_.end(), "position map: remap of unmapped addr");
+    it->second = randomLabel();
+    return it->second;
+}
+
+LeafLabel
+PositionMap::randomLabel()
+{
+    return rng_.uniformInt(geo_.numLeaves());
+}
+
+} // namespace fp::oram

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The on-chip position map: program address -> current leaf label.
+ *
+ * Labels are assigned uniformly at random on first touch and remapped
+ * uniformly on every access (the paper's Step 2). The map is
+ * hash-backed and lazy so that the paper's 64M-block configuration
+ * costs host memory proportional to the touched working set only.
+ */
+
+#ifndef FP_ORAM_POSITION_MAP_HH
+#define FP_ORAM_POSITION_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/tree_geometry.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace fp::oram
+{
+
+class PositionMap
+{
+  public:
+    PositionMap(const mem::TreeGeometry &geo, std::uint64_t seed);
+
+    /** True iff @p addr has been assigned a label. */
+    bool contains(BlockAddr addr) const;
+
+    /** Current label; @p addr must be mapped. */
+    LeafLabel get(BlockAddr addr) const;
+
+    /** Label for @p addr, assigning a fresh uniform one if new. */
+    LeafLabel lookupOrAssign(BlockAddr addr);
+
+    /**
+     * Draw a fresh uniform label for @p addr, store and return it
+     * (the remap half of Step 2). @p addr must be mapped.
+     */
+    LeafLabel remap(BlockAddr addr);
+
+    /** Draw a uniform label without touching the map (dummy paths). */
+    LeafLabel randomLabel();
+
+    std::size_t size() const { return map_.size(); }
+
+    const mem::TreeGeometry &geometry() const { return geo_; }
+
+  private:
+    mem::TreeGeometry geo_;
+    Rng rng_;
+    std::unordered_map<BlockAddr, LeafLabel> map_;
+};
+
+} // namespace fp::oram
+
+#endif // FP_ORAM_POSITION_MAP_HH

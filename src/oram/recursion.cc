@@ -1,0 +1,190 @@
+#include "oram/recursion.hh"
+
+#include "util/logging.hh"
+
+namespace fp::oram
+{
+
+RecursionLayout::RecursionLayout(std::uint64_t num_data_blocks,
+                                 unsigned fanout,
+                                 std::uint64_t on_chip_limit)
+    : numData_(num_data_blocks), fanout_(fanout)
+{
+    fp_assert(num_data_blocks > 0, "RecursionLayout: no data blocks");
+    fp_assert(fanout >= 2, "RecursionLayout: fanout must be >= 2");
+    fp_assert(on_chip_limit >= 1, "RecursionLayout: on-chip limit 0");
+
+    counts_.push_back(numData_);
+    std::uint64_t count = numData_;
+    while (count > on_chip_limit) {
+        count = (count + fanout_ - 1) / fanout_;
+        counts_.push_back(count);
+    }
+    numLevels_ = static_cast<unsigned>(counts_.size() - 1);
+
+    starts_.resize(counts_.size());
+    BlockAddr start = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        starts_[i] = start;
+        start += counts_[i];
+    }
+}
+
+std::uint64_t
+RecursionLayout::levelCount(unsigned level) const
+{
+    fp_assert(level < counts_.size(), "levelCount: bad level");
+    return counts_[level];
+}
+
+BlockAddr
+RecursionLayout::levelStart(unsigned level) const
+{
+    fp_assert(level < starts_.size(), "levelStart: bad level");
+    return starts_[level];
+}
+
+std::uint64_t
+RecursionLayout::totalBlocks() const
+{
+    return starts_.back() + counts_.back();
+}
+
+BlockAddr
+RecursionLayout::blockFor(unsigned level, BlockAddr data_addr) const
+{
+    fp_assert(level < counts_.size(), "blockFor: bad level");
+    fp_assert(data_addr < numData_, "blockFor: bad data address");
+    std::uint64_t idx = data_addr;
+    for (unsigned i = 0; i < level; ++i)
+        idx /= fanout_;
+    fp_assert(idx < counts_[level], "blockFor: index out of range");
+    return starts_[level] + idx;
+}
+
+unsigned
+RecursionLayout::slotWithin(unsigned level, BlockAddr data_addr) const
+{
+    fp_assert(level >= 1 && level < counts_.size(),
+              "slotWithin: bad level");
+    std::uint64_t child_idx = data_addr;
+    for (unsigned i = 0; i + 1 < level; ++i)
+        child_idx /= fanout_;
+    return static_cast<unsigned>(child_idx % fanout_);
+}
+
+RecursivePathOram::RecursivePathOram(const RecursiveOramParams &params)
+    : params_(params),
+      layout_(params.numDataBlocks, params.fanout, params.onChipLimit),
+      rng_(params.seed ^ 0x5ca1ab1e)
+{
+    fp_assert(params_.payloadBytes >= 8ULL * params_.fanout,
+              "payload too small for %u labels", params_.fanout);
+
+    OramParams ep;
+    ep.z = params_.z;
+    ep.payloadBytes = params_.payloadBytes;
+    ep.encrypt = params_.encrypt;
+    ep.seed = params_.seed;
+    ep.stashCapacity = 200;
+    ep.leafLevel =
+        mem::TreeGeometry::forCapacity(layout_.totalBlocks(), 1,
+                                       params_.utilization, params_.z)
+            .leafLevel();
+    engine_ = std::make_unique<PathOram>(ep);
+
+    topLabels_.assign(layout_.onChipEntries(), invalidLeaf);
+}
+
+LeafLabel &
+RecursivePathOram::topLabel(std::uint64_t index)
+{
+    fp_assert(index < topLabels_.size(), "topLabel: bad index");
+    LeafLabel &label = topLabels_[index];
+    if (label == invalidLeaf)
+        label = rng_.uniformInt(engine_->geometry().numLeaves());
+    return label;
+}
+
+void
+RecursivePathOram::encodeLabel(std::vector<std::uint8_t> &payload,
+                               unsigned slot, LeafLabel label)
+{
+    // Labels are stored as label+1 so that an all-zero (fresh) block
+    // reads as "unassigned" for every slot; label 0 is valid.
+    std::uint64_t v = label + 1;
+    for (unsigned i = 0; i < 8; ++i)
+        payload[slot * 8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+LeafLabel
+RecursivePathOram::decodeLabel(const std::vector<std::uint8_t> &p,
+                               unsigned slot)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[slot * 8 + i]) << (8 * i);
+    return v == 0 ? invalidLeaf : v - 1;
+}
+
+std::vector<std::uint8_t>
+RecursivePathOram::read(BlockAddr addr)
+{
+    return access(Op::read, addr, nullptr);
+}
+
+void
+RecursivePathOram::write(BlockAddr addr,
+                         const std::vector<std::uint8_t> &data)
+{
+    access(Op::write, addr, &data);
+}
+
+std::vector<std::uint8_t>
+RecursivePathOram::access(Op op, BlockAddr addr,
+                          const std::vector<std::uint8_t> *data)
+{
+    fp_assert(addr < layout_.numDataBlocks(),
+              "recursive access: address out of range");
+
+    const unsigned R = layout_.numPosmapLevels();
+    const std::uint64_t leaves = engine_->geometry().numLeaves();
+
+    // Label of the top-of-chain block, held on chip; remap in place.
+    std::uint64_t top_index =
+        layout_.blockFor(R, addr) - layout_.levelStart(R);
+    LeafLabel &top = topLabel(top_index);
+    LeafLabel cur_old = top;
+    LeafLabel cur_new = rng_.uniformInt(leaves);
+    top = cur_new;
+
+    // Walk the chain from the top position-map level down to the
+    // data block. At level i we access the posmap block, pull the
+    // child's label out of the (now stashed) payload, remap the child
+    // and store the new label back into the stashed copy.
+    for (unsigned level = R; level >= 1; --level) {
+        BlockAddr pm_addr = layout_.blockFor(level, addr);
+        unsigned slot = layout_.slotWithin(level, addr);
+
+        LeafLabel child_old = invalidLeaf;
+        LeafLabel child_new = rng_.uniformInt(leaves);
+
+        // The mutation runs while the posmap block is guaranteed to
+        // be in the stash (before the refill can evict it).
+        engine_->accessWithLabels(
+            Op::read, pm_addr, cur_old, cur_new, nullptr,
+            [&](mem::Block &pm) {
+                child_old = decodeLabel(pm.payload, slot);
+                encodeLabel(pm.payload, slot, child_new);
+            });
+
+        if (child_old == invalidLeaf)
+            child_old = rng_.uniformInt(leaves); // first touch
+        cur_old = child_old;
+        cur_new = child_new;
+    }
+
+    return engine_->accessWithLabels(op, addr, cur_old, cur_new, data);
+}
+
+} // namespace fp::oram

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Hierarchical (recursive) Path ORAM with a unified program address
+ * space, per the paper's Section 2.3 / Figure 2.
+ *
+ * When the position map is too large for on-chip storage, it is
+ * packed into position-map blocks that live in the same ORAM as the
+ * data (unified address space, one stash). Each position-map block
+ * at level i stores the leaf labels of `fanout` blocks of level i-1
+ * (level 0 = data blocks); the recursion terminates when the label
+ * table of the top level fits on chip.
+ *
+ * A logical data access therefore becomes a chain of
+ * numPosmapLevels()+1 ORAM accesses: one per position-map level, top
+ * down, then the data access. Each step extracts the child's current
+ * label from the parent block, remaps the child, and updates the
+ * parent's stashed copy. From outside the secure processor all chain
+ * steps look like ordinary uniform path accesses — exactly why the
+ * paper can treat hierarchical Path ORAM "the same as the basic Path
+ * ORAM" for scheduling purposes.
+ */
+
+#ifndef FP_ORAM_RECURSION_HH
+#define FP_ORAM_RECURSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "util/random.hh"
+
+namespace fp::oram
+{
+
+/** Address-space layout of the recursion levels. */
+class RecursionLayout
+{
+  public:
+    /**
+     * @param num_data_blocks  N, data blocks at level 0.
+     * @param fanout           Labels per position-map block.
+     * @param on_chip_limit    Max labels the on-chip table may hold.
+     */
+    RecursionLayout(std::uint64_t num_data_blocks, unsigned fanout,
+                    std::uint64_t on_chip_limit);
+
+    /** Number of position-map levels R (0 = flat, all on chip). */
+    unsigned numPosmapLevels() const { return numLevels_; }
+
+    /** Blocks at recursion level i (0 = data). */
+    std::uint64_t levelCount(unsigned level) const;
+
+    /** First unified block address of recursion level i. */
+    BlockAddr levelStart(unsigned level) const;
+
+    /** Total blocks across data + all position-map levels. */
+    std::uint64_t totalBlocks() const;
+
+    /** Unified address of the level-i block covering @p data_addr. */
+    BlockAddr blockFor(unsigned level, BlockAddr data_addr) const;
+
+    /**
+     * Slot of the level-(i-1) block covering @p data_addr within its
+     * level-i parent block.
+     */
+    unsigned slotWithin(unsigned level, BlockAddr data_addr) const;
+
+    unsigned fanout() const { return fanout_; }
+    std::uint64_t numDataBlocks() const { return numData_; }
+
+    /** Labels held on chip (the level-R table size). */
+    std::uint64_t onChipEntries() const
+    {
+        return levelCount(numLevels_);
+    }
+
+  private:
+    std::uint64_t numData_;
+    unsigned fanout_;
+    unsigned numLevels_;
+    std::vector<std::uint64_t> counts_; //!< counts_[i] = levelCount(i).
+    std::vector<BlockAddr> starts_;     //!< starts_[i] = levelStart(i).
+};
+
+struct RecursiveOramParams
+{
+    std::uint64_t numDataBlocks = 1 << 16;
+    unsigned fanout = 8;
+    std::uint64_t onChipLimit = 1024;
+    unsigned z = 4;
+    /** Payload must hold fanout labels of 8 bytes each. */
+    std::size_t payloadBytes = 64;
+    double utilization = 0.5;
+    bool encrypt = false;
+    std::uint64_t seed = 1;
+};
+
+class RecursivePathOram
+{
+  public:
+    explicit RecursivePathOram(const RecursiveOramParams &params);
+
+    /** Logical read of data block @p addr (addr in [0, N)). */
+    std::vector<std::uint8_t> read(BlockAddr addr);
+
+    /** Logical write of data block @p addr. */
+    void write(BlockAddr addr, const std::vector<std::uint8_t> &data);
+
+    /** ORAM accesses per logical access (R + 1). */
+    unsigned chainLength() const
+    {
+        return layout_.numPosmapLevels() + 1;
+    }
+
+    const RecursionLayout &layout() const { return layout_; }
+    PathOram &engine() { return *engine_; }
+
+  private:
+    std::vector<std::uint8_t>
+    access(Op op, BlockAddr addr,
+           const std::vector<std::uint8_t> *data);
+
+    /** On-chip label of a top-level block, lazily initialised. */
+    LeafLabel &topLabel(std::uint64_t index);
+
+    static void encodeLabel(std::vector<std::uint8_t> &payload,
+                            unsigned slot, LeafLabel label);
+    static LeafLabel decodeLabel(const std::vector<std::uint8_t> &p,
+                                 unsigned slot);
+
+    RecursiveOramParams params_;
+    RecursionLayout layout_;
+    std::unique_ptr<PathOram> engine_;
+    Rng rng_;
+    std::vector<LeafLabel> topLabels_;
+};
+
+} // namespace fp::oram
+
+#endif // FP_ORAM_RECURSION_HH

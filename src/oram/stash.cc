@@ -1,0 +1,87 @@
+#include "oram/stash.hh"
+
+#include "util/logging.hh"
+
+namespace fp::oram
+{
+
+Stash::Stash(const mem::TreeGeometry &geo, std::size_t capacity)
+    : geo_(geo), capacity_(capacity), occupancyHist_(128, 4.0)
+{
+}
+
+mem::Block *
+Stash::find(BlockAddr addr)
+{
+    auto it = blocks_.find(addr);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const mem::Block *
+Stash::find(BlockAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+void
+Stash::insert(mem::Block block)
+{
+    fp_assert(block.valid(), "stash: inserting dummy block");
+    fp_assert(geo_.validLeaf(block.leaf), "stash: bad leaf label");
+    fp_assert(blocks_.count(block.addr) == 0,
+              "stash: duplicate insert of addr %llu",
+              static_cast<unsigned long long>(block.addr));
+    blocks_[block.addr] = std::move(block);
+    peak_ = std::max(peak_, blocks_.size());
+}
+
+bool
+Stash::insertOrIgnore(mem::Block block)
+{
+    if (blocks_.count(block.addr) > 0)
+        return false;
+    insert(std::move(block));
+    return true;
+}
+
+mem::Block
+Stash::take(BlockAddr addr)
+{
+    auto it = blocks_.find(addr);
+    fp_assert(it != blocks_.end(), "stash: take of absent block");
+    mem::Block out = std::move(it->second);
+    blocks_.erase(it);
+    return out;
+}
+
+std::vector<mem::Block>
+Stash::evictForBucket(LeafLabel path_label, unsigned level,
+                      unsigned max_blocks)
+{
+    std::vector<mem::Block> out;
+    if (max_blocks == 0)
+        return out;
+    out.reserve(max_blocks);
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+        if (geo_.canReside(it->second.leaf, path_label, level)) {
+            out.push_back(std::move(it->second));
+            it = blocks_.erase(it);
+            if (out.size() >= max_blocks)
+                break;
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+void
+Stash::recordOccupancy()
+{
+    occupancyHist_.sample(static_cast<double>(blocks_.size()));
+    if (overCapacity())
+        overflows_.inc();
+}
+
+} // namespace fp::oram

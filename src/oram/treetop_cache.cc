@@ -1,0 +1,36 @@
+#include "oram/treetop_cache.hh"
+
+#include "util/logging.hh"
+
+namespace fp::oram
+{
+
+TreetopCache::TreetopCache(const mem::TreeGeometry &geo,
+                           std::uint64_t bucket_bytes,
+                           std::uint64_t budget_bytes)
+    : cachedLevels_(levelsForBudget(geo, bucket_bytes, budget_bytes)),
+      sizeBytes_(((std::uint64_t{1} << cachedLevels_) - 1) *
+                 bucket_bytes)
+{
+}
+
+unsigned
+TreetopCache::levelsForBudget(const mem::TreeGeometry &geo,
+                              std::uint64_t bucket_bytes,
+                              std::uint64_t budget_bytes)
+{
+    fp_assert(bucket_bytes > 0, "TreetopCache: zero bucket size");
+    unsigned levels = 0;
+    std::uint64_t used = 0;
+    while (levels < geo.numLevels()) {
+        std::uint64_t level_bytes =
+            (std::uint64_t{1} << levels) * bucket_bytes;
+        if (used + level_bytes > budget_bytes)
+            break;
+        used += level_bytes;
+        ++levels;
+    }
+    return levels;
+}
+
+} // namespace fp::oram

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Treetop caching (Maas et al., Phantom): the top levels of the ORAM
+ * tree are pinned in on-chip memory, so path accesses never touch
+ * DRAM for those levels. Statistically the top levels are by far the
+ * hottest (every path crosses the root), which makes this the
+ * standard caching baseline the paper compares MAC against.
+ *
+ * In this model the cached buckets' contents stay in the functional
+ * TreeStore (the store *is* the union of DRAM and on-chip copies);
+ * the cache's job is deciding which levels skip the DRAM timing/energy
+ * path, plus accounting for its own on-chip size.
+ */
+
+#ifndef FP_ORAM_TREETOP_CACHE_HH
+#define FP_ORAM_TREETOP_CACHE_HH
+
+#include <cstdint>
+
+#include "mem/tree_geometry.hh"
+
+namespace fp::oram
+{
+
+class TreetopCache
+{
+  public:
+    /**
+     * Pin as many whole levels as fit in @p budget_bytes.
+     * @param bucket_bytes Physical size of one bucket.
+     */
+    TreetopCache(const mem::TreeGeometry &geo,
+                 std::uint64_t bucket_bytes,
+                 std::uint64_t budget_bytes);
+
+    /** Number of pinned levels (levels 0 .. numCachedLevels()-1). */
+    unsigned numCachedLevels() const { return cachedLevels_; }
+
+    /** True iff accesses to @p level are served on-chip. */
+    bool covers(unsigned level) const { return level < cachedLevels_; }
+
+    /** Actual on-chip bytes used by the pinned levels. */
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+
+    /**
+     * Levels that a byte budget can pin for a given bucket size
+     * (static helper used by configuration code).
+     */
+    static unsigned levelsForBudget(const mem::TreeGeometry &geo,
+                                    std::uint64_t bucket_bytes,
+                                    std::uint64_t budget_bytes);
+
+  private:
+    unsigned cachedLevels_;
+    std::uint64_t sizeBytes_;
+};
+
+} // namespace fp::oram
+
+#endif // FP_ORAM_TREETOP_CACHE_HH

@@ -1,0 +1,87 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fp::sim
+{
+
+double
+controllerEnergyNj(const core::OramController &ctrl, Tick sim_time,
+                   const ControllerEnergyParams &params)
+{
+    const unsigned z = ctrl.params().oram.z;
+    double accesses = static_cast<double>(ctrl.totalAccesses());
+    double blocks_moved =
+        static_cast<double>(ctrl.bucketsReadTotal() +
+                            ctrl.bucketsWrittenTotal()) *
+        static_cast<double>(z);
+
+    double dynamic = accesses * params.stashSearchNj +
+                     blocks_moved * params.blockMoveNj +
+                     static_cast<double>(ctrl.realAccesses()) *
+                         params.posmapLookupNj +
+                     static_cast<double>(ctrl.onChipBucketReads()) *
+                         params.cacheAccessNj;
+
+    // Leakage over on-chip structures: stash + cache budget.
+    double onchip_mb =
+        static_cast<double>(ctrl.params().oram.stashCapacity *
+                            (ctrl.params().blockPhysBytes + 16)) /
+        (1024.0 * 1024.0);
+    if (ctrl.params().cachePolicy != core::CachePolicy::none) {
+        onchip_mb += static_cast<double>(
+                         ctrl.params().cacheBudgetBytes) /
+                     (1024.0 * 1024.0);
+    }
+    double seconds = static_cast<double>(sim_time) /
+                     static_cast<double>(ticksPerSecond);
+    double leakage_nj =
+        params.leakageMwPerMb * onchip_mb * seconds * 1e6;
+
+    return dynamic + leakage_nj;
+}
+
+std::string
+toJson(const RunResult &r)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("execution_ticks", std::uint64_t{r.executionTicks})
+        .field("avg_llc_latency_ns", r.avgLlcLatencyNs)
+        .field("avg_read_path_len", r.avgReadPathLen)
+        .field("avg_dram_buckets_read", r.avgDramBucketsRead)
+        .field("avg_dram_service_ns", r.avgDramServiceNs)
+        .field("real_accesses", r.realAccesses)
+        .field("dummy_accesses", r.dummyAccesses)
+        .field("dummy_replacements", r.dummyReplacements)
+        .field("stash_shortcuts", r.stashShortcuts)
+        .field("llc_requests", r.llcRequests)
+        .field("row_hits", r.rowHits)
+        .field("row_misses", r.rowMisses)
+        .field("row_hit_rate", r.rowHitRate())
+        .field("dram_energy_nj", r.dramEnergyNj)
+        .field("controller_energy_nj", r.controllerEnergyNj)
+        .field("stash_peak", std::uint64_t{r.stashPeak})
+        .field("stash_overflows", r.stashOverflows)
+        .field("cache_hits", r.cacheHits)
+        .field("cache_misses", r.cacheMisses)
+        .endObject();
+    return w.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    fp_assert(!values.empty(), "geomean of nothing");
+    double acc = 0.0;
+    for (double v : values) {
+        fp_assert(v > 0.0, "geomean needs positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace fp::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Result records and the energy model for full-system runs.
+ *
+ * DRAM energy comes from the command counters of the DRAM model.
+ * Controller energy uses per-access constants standing in for the
+ * paper's Synopsys/CACTI numbers (the paper's Figure 15 shows the
+ * total is dominated by external memory, so only the controller
+ * terms' order of magnitude matters; the constants are documented
+ * inline and swappable).
+ */
+
+#ifndef FP_SIM_METRICS_HH
+#define FP_SIM_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
+
+namespace fp::sim
+{
+
+struct ControllerEnergyParams
+{
+    /** Stash CAM search per ORAM access. */
+    double stashSearchNj = 0.05;
+    /** One block moved between stash and the memory path. */
+    double blockMoveNj = 0.01;
+    /** Position map lookup + update per real access. */
+    double posmapLookupNj = 0.02;
+    /** MAC/treetop bucket access (read or insert). */
+    double cacheAccessNj = 0.08;
+    /** SRAM leakage per megabyte of on-chip storage. */
+    double leakageMwPerMb = 30.0;
+};
+
+/** Everything a figure needs from one run. */
+struct RunResult
+{
+    // Timing.
+    Tick executionTicks = 0;      //!< Slowest core's finish time.
+    double avgLlcLatencyNs = 0.0; //!< The paper's "ORAM latency".
+    double avgReadPathLen = 0.0;  //!< Tree levels fetched per access.
+    double avgDramBucketsRead = 0.0;
+    double avgDramServiceNs = 0.0;
+
+    // Request accounting.
+    std::uint64_t realAccesses = 0;
+    std::uint64_t dummyAccesses = 0;
+    std::uint64_t dummyReplacements = 0;
+    std::uint64_t stashShortcuts = 0;
+    std::uint64_t llcRequests = 0;
+
+    // DRAM behaviour.
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+
+    // Energy (nJ).
+    double dramEnergyNj = 0.0;
+    double controllerEnergyNj = 0.0;
+
+    // Stash health.
+    std::size_t stashPeak = 0;
+    std::uint64_t stashOverflows = 0;
+
+    // Caching.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+
+    double totalAccesses() const
+    {
+        return static_cast<double>(realAccesses + dummyAccesses);
+    }
+
+    double totalEnergyNj() const
+    {
+        return dramEnergyNj + controllerEnergyNj;
+    }
+
+    double rowHitRate() const
+    {
+        auto total = rowHits + rowMisses;
+        return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Controller energy from its counters plus on-chip leakage. */
+double controllerEnergyNj(const core::OramController &ctrl,
+                          Tick sim_time,
+                          const ControllerEnergyParams &params = {});
+
+/** Geometric mean (figures 16-18 report geomeans over mixes). */
+double geomean(const std::vector<double> &values);
+
+/** Serialise a run result as a JSON object (external plotting). */
+std::string toJson(const RunResult &result);
+
+} // namespace fp::sim
+
+#endif // FP_SIM_METRICS_HH

@@ -1,0 +1,73 @@
+#include "sim/sim_config.hh"
+
+namespace fp::sim
+{
+
+SimConfig
+SimConfig::paperDefault()
+{
+    SimConfig cfg;
+    cfg.cores = 4;
+    cfg.maxOutstanding = 16;
+    cfg.cpuPeriodTicks = 500;
+
+    cfg.controller = core::ControllerParams::traditional();
+    cfg.controller.oram.leafLevel = 24; // 4 GB data / 64 B / 50% / Z=4
+    cfg.controller.oram.z = 4;
+    cfg.controller.oram.payloadBytes = 0; // timing runs carry no data
+    cfg.controller.oram.stashCapacity = 200;
+
+    cfg.dram = dram::DramParams::ddr3_1600(2);
+    return cfg;
+}
+
+SimConfig
+withTraditional(SimConfig cfg)
+{
+    auto oram = cfg.controller.oram;
+    cfg.controller = core::ControllerParams::traditional();
+    cfg.controller.oram = oram;
+    cfg.insecure = false;
+    return cfg;
+}
+
+SimConfig
+withMergeOnly(SimConfig cfg, unsigned queue_size)
+{
+    auto oram = cfg.controller.oram;
+    cfg.controller = core::ControllerParams::forkPath();
+    cfg.controller.oram = oram;
+    cfg.controller.labelQueueSize = queue_size;
+    cfg.controller.cachePolicy = core::CachePolicy::none;
+    cfg.insecure = false;
+    return cfg;
+}
+
+SimConfig
+withMergeMac(SimConfig cfg, std::uint64_t cache_bytes,
+             unsigned queue_size)
+{
+    cfg = withMergeOnly(std::move(cfg), queue_size);
+    cfg.controller.cachePolicy = core::CachePolicy::mac;
+    cfg.controller.cacheBudgetBytes = cache_bytes;
+    return cfg;
+}
+
+SimConfig
+withMergeTreetop(SimConfig cfg, std::uint64_t cache_bytes,
+                 unsigned queue_size)
+{
+    cfg = withMergeOnly(std::move(cfg), queue_size);
+    cfg.controller.cachePolicy = core::CachePolicy::treetop;
+    cfg.controller.cacheBudgetBytes = cache_bytes;
+    return cfg;
+}
+
+SimConfig
+withInsecure(SimConfig cfg)
+{
+    cfg.insecure = true;
+    return cfg;
+}
+
+} // namespace fp::sim

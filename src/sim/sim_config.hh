@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Whole-experiment configuration bundling the processor, ORAM
+ * controller, DRAM and workload-shape knobs. The defaults reproduce
+ * the paper's Table 1 system.
+ */
+
+#ifndef FP_SIM_SIM_CONFIG_HH
+#define FP_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/oram_controller.hh"
+#include "dram/dram_params.hh"
+
+namespace fp::sim
+{
+
+struct SimConfig
+{
+    // --- processor (Table 1) ----------------------------------------------
+    unsigned cores = 4;
+    /**
+     * Outstanding LLC misses per core (MSHR depth): 1 models an
+     * in-order core, 16 the paper's 8-way out-of-order core (whose
+     * miss queue must be deep enough to fill the 64-entry label
+     * queue across 4 cores — see EXPERIMENTS.md calibration).
+     */
+    unsigned maxOutstanding = 16;
+    Tick cpuPeriodTicks = 500; // 2 GHz
+
+    /** LLC misses each core replays. */
+    std::uint64_t requestsPerCore = 4000;
+
+    // --- memory path -------------------------------------------------------
+    core::ControllerParams controller;
+    dram::DramParams dram = dram::DramParams::ddr3_1600(2);
+
+    /**
+     * Run without ORAM: each miss is one 64 B DRAM access. Used for
+     * the insecure baseline of Figure 14.
+     */
+    bool insecure = false;
+
+    // --- workload shape -----------------------------------------------------
+    /** Threads share one address region (PARSEC style). */
+    bool sharedAddressSpace = false;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Table 1 defaults: 4-core 2 GHz OoO, 4 GB data ORAM (L=24,
+     * Z=4, 64 B blocks), DDR3-1600 x2 channels, subtree layout.
+     * The controller starts as traditional Path ORAM; experiment
+     * code flips the Fork Path features per series.
+     */
+    static SimConfig paperDefault();
+};
+
+/** Controller variants used across the figures. */
+SimConfig withTraditional(SimConfig cfg);
+SimConfig withMergeOnly(SimConfig cfg, unsigned queue_size = 64);
+SimConfig withMergeMac(SimConfig cfg, std::uint64_t cache_bytes,
+                       unsigned queue_size = 64);
+SimConfig withMergeTreetop(SimConfig cfg, std::uint64_t cache_bytes,
+                           unsigned queue_size = 64);
+SimConfig withInsecure(SimConfig cfg);
+
+} // namespace fp::sim
+
+#endif // FP_SIM_SIM_CONFIG_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SyncOram: the batteries-included synchronous front door to the
+ * library. It owns an event queue, a DDR3 model and a Fork Path ORAM
+ * controller, and exposes a plain blocking read/write interface in
+ * block units — what an application embedding the ORAM (rather than
+ * running experiments) wants.
+ *
+ * Every call advances the internal simulation until the request
+ * retires, so timing statistics (simulated nanoseconds, DRAM traffic,
+ * dummy overhead) remain meaningful and can be printed afterwards.
+ */
+
+#ifndef FP_SIM_SYNC_ORAM_HH
+#define FP_SIM_SYNC_ORAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
+#include "util/event_queue.hh"
+
+namespace fp::sim
+{
+
+class SyncOram
+{
+  public:
+    /**
+     * @param controller Configuration for the ORAM controller; the
+     *        payload size must be non-zero to carry data.
+     * @param dram       DRAM configuration.
+     */
+    explicit SyncOram(
+        core::ControllerParams controller,
+        dram::DramParams dram = dram::DramParams::ddr3_1600(2));
+    ~SyncOram();
+
+    /** Blocking read of one block. Unwritten blocks read as zeros. */
+    std::vector<std::uint8_t> read(BlockAddr addr);
+
+    /** Blocking write of one block (sized to payloadBytes). */
+    void write(BlockAddr addr, std::vector<std::uint8_t> data);
+
+    /**
+     * Initialise the ORAM with a data set in one pass, without
+     * paying a full path access per block: each block gets a uniform
+     * leaf label and is planted directly in the deepest free bucket
+     * of its path (below any on-chip cache band, so cache state stays
+     * coherent). Blocks that find no deep slot fall back to a normal
+     * write. Must be called before the first access.
+     *
+     * @return the number of blocks that needed the slow path.
+     */
+    std::size_t bulkLoad(
+        const std::vector<
+            std::pair<BlockAddr, std::vector<std::uint8_t>>> &blocks);
+
+    /** Payload size each block carries. */
+    std::size_t blockSize() const;
+
+    /** Simulated time elapsed so far. */
+    Tick now() const { return eq_->now(); }
+
+    core::OramController &controller() { return *ctrl_; }
+    dram::DramSystem &dram() { return *dram_; }
+
+    /** Print a human-readable stats summary to stdout. */
+    void printStats() const;
+
+  private:
+    std::unique_ptr<EventQueue> eq_;
+    std::unique_ptr<dram::DramSystem> dram_;
+    std::unique_ptr<core::OramController> ctrl_;
+};
+
+} // namespace fp::sim
+
+#endif // FP_SIM_SYNC_ORAM_HH

@@ -1,0 +1,197 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace fp::sim
+{
+
+/** Adapter: LLC misses into the ORAM controller. */
+class System::OramSink : public workload::MemorySink
+{
+  public:
+    explicit OramSink(core::OramController &ctrl) : ctrl_(ctrl) {}
+
+    bool canAccept() const override { return ctrl_.canAccept(); }
+
+    bool
+    access(const workload::MemRequest &req,
+           ResponseFn on_response) override
+    {
+        auto op = req.isWrite ? oram::Op::write : oram::Op::read;
+        std::uint64_t id = ctrl_.request(
+            op, req.addr, {},
+            [cb = std::move(on_response)](
+                Tick t, const std::vector<std::uint8_t> &) {
+                cb(t);
+            });
+        return id != 0;
+    }
+
+  private:
+    core::OramController &ctrl_;
+};
+
+/** Adapter: the insecure baseline, one 64 B DRAM access per miss. */
+class System::InsecureSink : public workload::MemorySink
+{
+  public:
+    InsecureSink(dram::DramSystem &dram, std::uint64_t block_bytes,
+                 std::size_t max_outstanding)
+        : dram_(dram), blockBytes_(block_bytes),
+          maxOutstanding_(max_outstanding)
+    {
+    }
+
+    bool canAccept() const override
+    {
+        return outstanding_ < maxOutstanding_;
+    }
+
+    bool
+    access(const workload::MemRequest &req,
+           ResponseFn on_response) override
+    {
+        if (!canAccept())
+            return false;
+        ++outstanding_;
+        dram::DramRequest dreq;
+        dreq.addr = req.addr * blockBytes_;
+        dreq.isWrite = req.isWrite;
+        dreq.bursts = 1;
+        dreq.onComplete = [this, cb = std::move(on_response)](Tick t) {
+            --outstanding_;
+            cb(t);
+        };
+        dram_.access(std::move(dreq));
+        return true;
+    }
+
+  private:
+    dram::DramSystem &dram_;
+    std::uint64_t blockBytes_;
+    std::size_t maxOutstanding_;
+    std::size_t outstanding_ = 0;
+};
+
+System::System(const SimConfig &cfg,
+               std::vector<workload::WorkloadProfile> profiles)
+    : cfg_(cfg)
+{
+    fp_assert(profiles.size() == cfg.cores,
+              "System: %zu profiles for %u cores", profiles.size(),
+              cfg.cores);
+
+    dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
+
+    if (cfg_.insecure) {
+        sink_ = std::make_unique<InsecureSink>(
+            *dram_, cfg_.controller.blockPhysBytes, 64);
+    } else {
+        ctrl_ = std::make_unique<core::OramController>(
+            cfg_.controller, eq_, *dram_);
+        sink_ = std::make_unique<OramSink>(*ctrl_);
+    }
+
+    // Disjoint per-core address regions (shared for PARSEC mode),
+    // spaced by the largest working set.
+    std::uint64_t spacing = 1;
+    for (const auto &p : profiles)
+        spacing = std::max(spacing, p.workingSetBlocks);
+    spacing = roundUpPow2(spacing, std::uint64_t{1} << 12);
+
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        workload::CoreParams cp;
+        cp.coreId = c;
+        cp.cpuPeriodTicks = cfg_.cpuPeriodTicks;
+        cp.maxOutstanding = cfg_.maxOutstanding;
+        cp.totalRequests = cfg_.requestsPerCore;
+        BlockAddr base =
+            cfg_.sharedAddressSpace ? 0 : spacing * 2 * c;
+        cores_.push_back(std::make_unique<workload::CoreModel>(
+            cp, profiles[c], base, cfg_.seed + c * 0x9111, eq_,
+            *sink_));
+    }
+}
+
+System::~System() = default;
+
+void
+System::printStats(std::ostream &os)
+{
+    if (ctrl_) {
+        ctrl_->stats().print(os);
+        ctrl_->store().stats().print(os);
+    }
+    for (unsigned c = 0; c < dram_->numChannels(); ++c)
+        dram_->channel(c).stats().print(os);
+}
+
+bool
+System::allDone() const
+{
+    return std::all_of(cores_.begin(), cores_.end(),
+                       [](const auto &c) { return c->done(); });
+}
+
+RunResult
+System::run(Tick limit)
+{
+    for (auto &core : cores_)
+        core->start();
+
+    while (!allDone()) {
+        fp_assert(eq_.now() <= limit,
+                  "simulation exceeded tick limit");
+        bool progressed = eq_.step();
+        fp_assert(progressed || allDone(),
+                  "deadlock: no events but cores unfinished");
+    }
+
+    RunResult r;
+    for (const auto &core : cores_) {
+        r.executionTicks = std::max(r.executionTicks,
+                                    core->finishTick());
+        r.llcRequests += core->issued();
+    }
+
+    if (ctrl_) {
+        r.avgLlcLatencyNs = ctrl_->oramLatency().mean();
+        r.avgReadPathLen = ctrl_->avgReadPathLength();
+        r.avgDramBucketsRead = ctrl_->avgDramBucketsRead();
+        r.avgDramServiceNs = ctrl_->avgDramServiceNs();
+        r.realAccesses = ctrl_->realAccesses();
+        r.dummyAccesses = ctrl_->dummyAccessesRun();
+        r.dummyReplacements = ctrl_->dummyReplacements();
+        r.stashShortcuts = ctrl_->stashShortcuts();
+        r.stashPeak = ctrl_->stash().peakSize();
+        r.stashOverflows = ctrl_->stash().overflowEvents();
+        r.controllerEnergyNj = controllerEnergyNj(*ctrl_, eq_.now());
+        if (auto *mac = ctrl_->mac()) {
+            r.cacheHits = mac->hits();
+            r.cacheMisses = mac->misses();
+        } else {
+            r.cacheHits = ctrl_->onChipBucketReads();
+        }
+    } else {
+        // Insecure runs: "latency" is the cores' observed miss time.
+        double sum = 0.0;
+        std::uint64_t n = 0;
+        for (const auto &core : cores_) {
+            sum += core->missLatency().mean() *
+                   static_cast<double>(core->missLatency().count());
+            n += core->missLatency().count();
+        }
+        r.avgLlcLatencyNs = n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    r.rowHits = dram_->rowHits();
+    r.rowMisses = dram_->rowMisses();
+    r.dramEnergyNj = dram_->energy(eq_.now()).total();
+    return r;
+}
+
+} // namespace fp::sim

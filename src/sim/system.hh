@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The full-system harness: cores -> (ORAM controller | insecure
+ * memory) -> DRAM, all on one event queue. One System object is one
+ * experiment run; it produces a RunResult for the figure harnesses.
+ */
+
+#ifndef FP_SIM_SYSTEM_HH
+#define FP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
+#include "sim/metrics.hh"
+#include "sim/sim_config.hh"
+#include "util/event_queue.hh"
+#include "workload/core_model.hh"
+
+namespace fp::sim
+{
+
+class System
+{
+  public:
+    /**
+     * @param cfg      System configuration.
+     * @param profiles One workload profile per core (size must equal
+     *                 cfg.cores).
+     */
+    System(const SimConfig &cfg,
+           std::vector<workload::WorkloadProfile> profiles);
+    ~System();
+
+    /**
+     * Run to completion (every core finishes its request budget).
+     * @param limit Safety limit in ticks; exceeding it is fatal.
+     */
+    RunResult run(Tick limit = maxTick);
+
+    /** Dump every component's registered statistics. */
+    void printStats(std::ostream &os);
+
+    EventQueue &eventQueue() { return eq_; }
+    dram::DramSystem &dram() { return *dram_; }
+    /** Null in insecure mode. */
+    core::OramController *controller() { return ctrl_.get(); }
+    const std::vector<std::unique_ptr<workload::CoreModel>> &
+    cores() const
+    {
+        return cores_;
+    }
+
+  private:
+    class OramSink;
+    class InsecureSink;
+
+    bool allDone() const;
+
+    SimConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<dram::DramSystem> dram_;
+    std::unique_ptr<core::OramController> ctrl_;
+    std::unique_ptr<workload::MemorySink> sink_;
+    std::vector<std::unique_ptr<workload::CoreModel>> cores_;
+};
+
+} // namespace fp::sim
+
+#endif // FP_SIM_SYSTEM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the tree-geometry and
+ * DRAM address-mapping code.
+ */
+
+#ifndef FP_UTIL_BITOPS_HH
+#define FP_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace fp
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Number of bits needed to represent @p v (0 -> 0). */
+constexpr unsigned
+bitWidth(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v));
+}
+
+/** floor(log2(v)); requires v > 0. */
+inline unsigned
+log2Floor(std::uint64_t v)
+{
+    fp_assert(v > 0, "log2Floor(0)");
+    return bitWidth(v) - 1;
+}
+
+/** ceil(log2(v)); requires v > 0. */
+inline unsigned
+log2Ceil(std::uint64_t v)
+{
+    fp_assert(v > 0, "log2Ceil(0)");
+    return v == 1 ? 0 : bitWidth(v - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+extractBits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    if (len == 0)
+        return 0;
+    if (len >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << len) - 1);
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace fp
+
+#endif // FP_UTIL_BITOPS_HH

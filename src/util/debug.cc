@@ -1,0 +1,114 @@
+#include "util/debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fp
+{
+
+namespace
+{
+
+std::uint32_t enabledMask = 0;
+bool envParsed = false;
+
+std::uint32_t
+parseSpec(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "oram")
+            mask |= static_cast<std::uint32_t>(DebugCat::oram);
+        else if (item == "sched")
+            mask |= static_cast<std::uint32_t>(DebugCat::sched);
+        else if (item == "dram")
+            mask |= static_cast<std::uint32_t>(DebugCat::dram);
+        else if (item == "stash")
+            mask |= static_cast<std::uint32_t>(DebugCat::stash);
+        else if (item == "cache")
+            mask |= static_cast<std::uint32_t>(DebugCat::cache);
+        else if (item == "all")
+            mask = static_cast<std::uint32_t>(DebugCat::all);
+        else if (!item.empty())
+            std::fprintf(stderr,
+                         "warn: unknown FP_DEBUG category '%s'\n",
+                         item.c_str());
+    }
+    return mask;
+}
+
+void
+ensureEnvParsed()
+{
+    if (envParsed)
+        return;
+    envParsed = true;
+    const char *env = std::getenv("FP_DEBUG");
+    enabledMask = env ? parseSpec(env) : 0;
+}
+
+const Tick *tickSource = nullptr;
+
+const char *
+catName(DebugCat cat)
+{
+    switch (cat) {
+      case DebugCat::oram:
+        return "oram";
+      case DebugCat::sched:
+        return "sched";
+      case DebugCat::dram:
+        return "dram";
+      case DebugCat::stash:
+        return "stash";
+      case DebugCat::cache:
+        return "cache";
+      default:
+        return "?";
+    }
+}
+
+} // anonymous namespace
+
+bool
+debugEnabled(DebugCat cat)
+{
+    ensureEnvParsed();
+    return (enabledMask & static_cast<std::uint32_t>(cat)) != 0;
+}
+
+void
+setDebugCategories(const std::string &spec)
+{
+    envParsed = true;
+    enabledMask = parseSpec(spec);
+}
+
+void
+setDebugTickSource(const Tick *now)
+{
+    tickSource = now;
+}
+
+void
+debugPrintf(DebugCat cat, const char *fmt, ...)
+{
+    if (tickSource) {
+        std::fprintf(stderr, "%12llu: %s: ",
+                     static_cast<unsigned long long>(*tickSource),
+                     catName(cat));
+    } else {
+        std::fprintf(stderr, "%s: ", catName(cat));
+    }
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace fp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * gem5-DPRINTF-style category-gated debug tracing.
+ *
+ * Enable categories with the FP_DEBUG environment variable (comma
+ * separated, e.g. `FP_DEBUG=oram,sched ./trace_player ...`) or
+ * programmatically with setDebugCategories(). Each line is prefixed
+ * with the current simulated tick when an event queue is attached.
+ *
+ * The macro costs one predicted-false branch when the category is
+ * off, so trace points can stay in hot paths permanently.
+ */
+
+#ifndef FP_UTIL_DEBUG_HH
+#define FP_UTIL_DEBUG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace fp
+{
+
+/** Trace categories (bitmask). */
+enum class DebugCat : std::uint32_t
+{
+    none = 0,
+    oram = 1u << 0,  //!< controller phases, fork levels
+    sched = 1u << 1, //!< label queue selection / replacement
+    dram = 1u << 2,  //!< channel scheduling
+    stash = 1u << 3, //!< stash pressure, eviction
+    cache = 1u << 4, //!< MAC / treetop events
+    all = ~0u,
+};
+
+/** True iff @p cat is enabled. */
+bool debugEnabled(DebugCat cat);
+
+/** Replace the enabled set, e.g. "oram,sched" or "all" or "". */
+void setDebugCategories(const std::string &spec);
+
+/** Attach a tick source so trace lines carry simulated time. */
+void setDebugTickSource(const Tick *now);
+
+/** Emit one trace line (printf-style). Prefer the macro. */
+void debugPrintf(DebugCat cat, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace fp
+
+/**
+ * Trace-point macro: evaluates its arguments only when the category
+ * is live.
+ */
+#define fp_dtrace(cat, ...)                                           \
+    do {                                                              \
+        if (::fp::debugEnabled(::fp::DebugCat::cat))                  \
+            ::fp::debugPrintf(::fp::DebugCat::cat, __VA_ARGS__);      \
+    } while (0)
+
+#endif // FP_UTIL_DEBUG_HH

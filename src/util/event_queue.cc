@@ -1,0 +1,61 @@
+#include "util/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace fp
+{
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    fp_assert(when >= now_,
+              "scheduling event in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+        ++executed;
+    }
+    if (now_ < limit && limit != maxTick)
+        now_ = limit;
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runWhile(const std::function<bool()> &pred)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && pred()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.fn();
+    return true;
+}
+
+} // namespace fp

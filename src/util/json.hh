@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON document writer, enough to export run results and
+ * statistics for external plotting. Writer-only by design: the
+ * simulator never consumes JSON, so no parser is shipped.
+ */
+
+#ifndef FP_UTIL_JSON_HH
+#define FP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fp
+{
+
+/**
+ * Streaming JSON builder with explicit begin/end nesting. Produces
+ * compact output; keys are escaped; doubles render with enough
+ * precision to round-trip.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside an object; must be followed by a value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    JsonWriter &value(bool v);
+    JsonWriter &nullValue();
+
+    /** Convenience: key + value. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The finished document (all scopes must be closed). */
+    std::string str() const;
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void preValue();
+
+    std::string out_;
+    /** Per-nesting-level "needs comma" flags; true after a value. */
+    std::vector<bool> needComma_;
+    bool pendingKey_ = false;
+    int depth_ = 0;
+};
+
+} // namespace fp
+
+#endif // FP_UTIL_JSON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              aborts so a core dump / debugger can inspect state.
+ *  - fatal():  the user asked for something impossible (bad
+ *              configuration); exits with status 1.
+ *  - warn():   something is probably not what the user intended but
+ *              the simulation can continue.
+ *  - inform(): plain status output.
+ *
+ * All functions accept printf-style format strings.
+ */
+
+#ifndef FP_UTIL_LOGGING_HH
+#define FP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace fp
+{
+
+/** Print "panic: ..." with source location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "fatal: ..." and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "warn: ..." to stderr. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print "info: ..." to stderr. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace fp
+
+#define fp_panic(...) ::fp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fp_fatal(...) ::fp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fp_warn(...) ::fp::warnImpl(__VA_ARGS__)
+#define fp_inform(...) ::fp::informImpl(__VA_ARGS__)
+
+/**
+ * Invariant check that stays on in release builds. Use for conditions
+ * that indicate simulator bugs; the cost is negligible next to the
+ * event loop.
+ */
+#define fp_assert(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::fp::panicImpl(__FILE__, __LINE__, __VA_ARGS__);         \
+        }                                                             \
+    } while (0)
+
+#endif // FP_UTIL_LOGGING_HH

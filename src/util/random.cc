@@ -1,0 +1,138 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed; xoshiro must not start from the all-zero state,
+    // which splitmix64 guarantees for any seed.
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    fp_assert(bound > 0, "uniformInt(0)");
+    // Lemire-style bounded generation with rejection to kill modulo
+    // bias; the bias matters for the chi-square uniformity tests on
+    // leaf-label sequences.
+    std::uint64_t threshold = (~bound + 1) % bound; // == 2^64 mod bound
+    for (;;) {
+        std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    fp_assert(lo <= hi, "uniformRange: lo > hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformDouble()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Geometric on {1, 2, ...} with success prob 1/mean.
+    double p = 1.0 / mean;
+    double u = uniformDouble();
+    // Avoid log(0).
+    u = std::max(u, 1e-300);
+    double v = std::log(u) / std::log(1.0 - p);
+    std::uint64_t k = static_cast<std::uint64_t>(v) + 1;
+    return std::max<std::uint64_t>(k, 1);
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent's stream; the two streams
+    // are then driven by unrelated splitmix64 expansions.
+    return Rng((*this)() ^ 0xd1342543de82ef95ULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n)
+{
+    fp_assert(n > 0, "ZipfSampler: empty universe");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return n_ - 1;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace fp

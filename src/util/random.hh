@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generation for the
+ * simulator.
+ *
+ * We use xoshiro256** (Blackman & Vigna) rather than std::mt19937
+ * because it is faster, has a tiny state, and gives us identical
+ * streams across standard libraries, which keeps experiment output
+ * reproducible bit-for-bit.
+ *
+ * Note these generators drive *simulation* randomness (leaf remapping,
+ * synthetic workloads). The crypto substrate has its own keystream.
+ */
+
+#ifndef FP_UTIL_RANDOM_HH
+#define FP_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace fp
+{
+
+/**
+ * xoshiro256** generator. Satisfies the essentials of
+ * UniformRandomBitGenerator so it can be used with <random>
+ * distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-like positive gap: returns a sample of a geometric
+     * distribution with mean @p mean (>= 1), used for inter-arrival
+     * gaps in workload generators.
+     */
+    std::uint64_t geometric(double mean);
+
+    /** Fork a child generator with an independent-looking stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(alpha) sampler over [0, n). Uses the classic rejection-free
+ * inverse-CDF over precomputed cumulative weights; memory O(n), so the
+ * workload generators keep n to the working-set block count.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n      Universe size (> 0).
+     * @param alpha  Skew; 0 degenerates to uniform.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t universe() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    std::vector<double> cdf_;
+};
+
+} // namespace fp
+
+#endif // FP_UTIL_RANDOM_HH

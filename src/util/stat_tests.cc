@@ -1,0 +1,88 @@
+#include "util/stat_tests.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fp
+{
+
+double
+chiSquareUniform(const std::vector<std::uint64_t> &counts)
+{
+    fp_assert(counts.size() >= 2, "chi-square needs >= 2 bins");
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    fp_assert(total > 0, "chi-square of empty sample");
+    double expect = static_cast<double>(total) /
+                    static_cast<double>(counts.size());
+    double chi2 = 0.0;
+    for (auto c : counts) {
+        double d = static_cast<double>(c) - expect;
+        chi2 += d * d / expect;
+    }
+    return chi2;
+}
+
+double
+chiSquareTopBits(const std::vector<std::uint64_t> &samples,
+                 unsigned value_bits, unsigned bin_bits)
+{
+    fp_assert(bin_bits >= 1 && bin_bits <= value_bits,
+              "chiSquareTopBits: bad bin width");
+    std::vector<std::uint64_t> counts(std::size_t{1} << bin_bits, 0);
+    for (auto s : samples)
+        ++counts[s >> (value_bits - bin_bits)];
+    return chiSquareUniform(counts);
+}
+
+double
+chiSquareCritical999(unsigned dof)
+{
+    // Selected entries of the chi-square 0.999 quantile; linear
+    // interpolation in between, Wilson-Hilferty beyond the table.
+    static const std::pair<unsigned, double> table[] = {
+        {1, 10.83},  {3, 16.27},  {7, 24.32},   {15, 37.70},
+        {31, 61.10}, {63, 103.4}, {127, 181.0}, {255, 330.5},
+    };
+    const auto n = sizeof(table) / sizeof(table[0]);
+    if (dof <= table[0].first)
+        return table[0].second;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (dof <= table[i].first) {
+            auto [d0, v0] = table[i - 1];
+            auto [d1, v1] = table[i];
+            double t = static_cast<double>(dof - d0) /
+                       static_cast<double>(d1 - d0);
+            return v0 + t * (v1 - v0);
+        }
+    }
+    // Wilson-Hilferty approximation, z_{0.999} = 3.0902.
+    double k = dof;
+    double z = 3.0902;
+    double h = 1.0 - 2.0 / (9.0 * k) +
+               z * std::sqrt(2.0 / (9.0 * k));
+    return k * h * h * h;
+}
+
+double
+serialCorrelation(const std::vector<double> &xs, unsigned lag)
+{
+    fp_assert(xs.size() > lag + 1, "serialCorrelation: too short");
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i + lag < xs.size(); ++i)
+        num += (xs[i] - mean) * (xs[i + lag] - mean);
+    for (double x : xs)
+        den += (x - mean) * (x - mean);
+    if (den == 0.0)
+        return 0.0;
+    return num / den;
+}
+
+} // namespace fp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Statistical test helpers shared by the security test suite and the
+ * adversary_view example: chi-square uniformity over binned samples
+ * and lag-k serial correlation. Critical values for common
+ * degrees-of-freedom are provided so call sites stay readable.
+ */
+
+#ifndef FP_UTIL_STAT_TESTS_HH
+#define FP_UTIL_STAT_TESTS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fp
+{
+
+/**
+ * Chi-square statistic of observed bin counts against a uniform
+ * expectation. Degrees of freedom = counts.size() - 1.
+ */
+double chiSquareUniform(const std::vector<std::uint64_t> &counts);
+
+/**
+ * Bin samples by their top bits and return the chi-square statistic
+ * against uniformity.
+ * @param samples    Values in [0, 2^value_bits).
+ * @param value_bits Width of the sample domain.
+ * @param bin_bits   log2(number of bins).
+ */
+double chiSquareTopBits(const std::vector<std::uint64_t> &samples,
+                        unsigned value_bits, unsigned bin_bits = 4);
+
+/**
+ * 99.9th-percentile chi-square critical value for @p dof degrees of
+ * freedom (selected table entries; interpolated between them).
+ */
+double chiSquareCritical999(unsigned dof);
+
+/**
+ * Lag-k sample autocorrelation of a sequence; near 0 for an
+ * independent stream.
+ */
+double serialCorrelation(const std::vector<double> &xs,
+                         unsigned lag = 1);
+
+} // namespace fp
+
+#endif // FP_UTIL_STAT_TESTS_HH

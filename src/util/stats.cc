@@ -1,0 +1,133 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace fp
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+Average::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void
+Average::reset()
+{
+    sum_ = min_ = max_ = 0.0;
+    count_ = 0;
+}
+
+Histogram::Histogram(std::size_t num_buckets, double bucket_width)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    fp_assert(num_buckets > 0 && bucket_width > 0.0,
+              "Histogram: bad shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    avg_.sample(v);
+    if (v < 0.0) {
+        ++buckets_.front();
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    fp_assert(frac >= 0.0 && frac <= 1.0, "percentile: bad fraction");
+    std::uint64_t total = avg_.count();
+    if (total == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(frac *
+                                             static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * bucketWidth_;
+    }
+    return avg_.max();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    avg_.reset();
+}
+
+void
+StatGroup::regCounter(const std::string &name, const Counter &c,
+                      const std::string &desc)
+{
+    entries_.push_back({Entry::Kind::counter, name, desc, &c});
+}
+
+void
+StatGroup::regAverage(const std::string &name, const Average &a,
+                      const std::string &desc)
+{
+    entries_.push_back({Entry::Kind::average, name, desc, &a});
+}
+
+void
+StatGroup::regHistogram(const std::string &name, const Histogram &h,
+                        const std::string &desc)
+{
+    entries_.push_back({Entry::Kind::histogram, name, desc, &h});
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + e.name)
+           << " ";
+        switch (e.kind) {
+          case Entry::Kind::counter:
+            os << static_cast<const Counter *>(e.ptr)->value();
+            break;
+          case Entry::Kind::average: {
+            const auto *a = static_cast<const Average *>(e.ptr);
+            os << a->mean() << " (n=" << a->count() << ")";
+            break;
+          }
+          case Entry::Kind::histogram: {
+            const auto *h = static_cast<const Histogram *>(e.ptr);
+            os << "mean=" << h->mean() << " p99="
+               << h->percentile(0.99) << " max=" << h->max()
+               << " (n=" << h->count() << ")";
+            break;
+          }
+        }
+        os << "  # " << e.desc << "\n";
+    }
+}
+
+} // namespace fp

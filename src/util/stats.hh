@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight statistics primitives, loosely modelled on gem5's stats
+ * package: scalar counters, running averages, and histograms, grouped
+ * into named StatGroup objects that can render themselves as text.
+ *
+ * Every component of the simulator owns a StatGroup; the experiment
+ * runner collects the numbers it needs for a figure directly via the
+ * typed accessors (no string lookups on the hot path).
+ */
+
+#ifndef FP_UTIL_STATS_HH
+#define FP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fp
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max of a stream of samples. */
+class Average
+{
+  public:
+    void sample(double v);
+    double mean() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    void reset();
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-width linear histogram with overflow bucket; also tracks the
+ * exact mean so bucketing does not distort averages.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets  Number of linear buckets.
+     * @param bucket_width Width of each bucket.
+     */
+    Histogram(std::size_t num_buckets = 32, double bucket_width = 1.0);
+
+    void sample(double v);
+    std::uint64_t count() const { return avg_.count(); }
+    double mean() const { return avg_.mean(); }
+    double max() const { return avg_.max(); }
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double frac) const;
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucketWidth() const { return bucketWidth_; }
+    void reset();
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    Average avg_;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ * Registration is by reference: the group does not own the stats, it
+ * only knows how to print them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void regCounter(const std::string &name, const Counter &c,
+                    const std::string &desc);
+    void regAverage(const std::string &name, const Average &a,
+                    const std::string &desc);
+    void regHistogram(const std::string &name, const Histogram &h,
+                      const std::string &desc);
+
+    /** Render all registered stats as "group.name value # desc". */
+    void print(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        enum class Kind { counter, average, histogram } kind;
+        std::string name;
+        std::string desc;
+        const void *ptr;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace fp
+
+#endif // FP_UTIL_STATS_HH

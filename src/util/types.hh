@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental scalar types and time-base constants shared by every
+ * subsystem of the Fork Path ORAM simulator.
+ *
+ * The simulator uses a gem5-style absolute time base: one Tick equals
+ * one picosecond. Components with their own clocks (CPU cores, the
+ * ORAM controller, the DDR3 bus) convert to Ticks through their clock
+ * period expressed in Ticks.
+ */
+
+#ifndef FP_UTIL_TYPES_HH
+#define FP_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fp
+{
+
+/** Absolute simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some component-local clock domain. */
+using Cycle = std::uint64_t;
+
+/** Program (logical) address of a memory block, in block units. */
+using BlockAddr = std::uint64_t;
+
+/** Byte address, used at the DRAM boundary. */
+using Addr = std::uint64_t;
+
+/** Leaf label of an ORAM tree path, in [0, 2^L). */
+using LeafLabel = std::uint64_t;
+
+/** Index of a bucket in heap order: root = 0, children of i are
+ *  2i+1 and 2i+2. */
+using BucketIndex = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid block address (also used by dummy blocks). */
+inline constexpr BlockAddr invalidBlockAddr =
+    std::numeric_limits<BlockAddr>::max();
+
+/** Sentinel for an invalid leaf label. */
+inline constexpr LeafLabel invalidLeaf =
+    std::numeric_limits<LeafLabel>::max();
+
+/** Ticks per second: 1 Tick = 1 ps. */
+inline constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert a frequency in MHz to a clock period in Ticks. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz);
+}
+
+/** Convert nanoseconds to Ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1e3);
+}
+
+/** Convert Ticks to nanoseconds (for reporting). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+} // namespace fp
+
+#endif // FP_UTIL_TYPES_HH

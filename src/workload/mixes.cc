@@ -1,0 +1,80 @@
+#include "workload/mixes.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workload/spec_profiles.hh"
+
+namespace fp::workload
+{
+
+namespace
+{
+
+const std::map<std::string, std::vector<std::string>> &
+mixTable()
+{
+    // Paper Table 2, verbatim composition.
+    static const std::map<std::string, std::vector<std::string>> t = {
+        {"Mix1", {"povray", "sjeng", "GemsFDTD", "h264ref"}},
+        {"Mix2", {"bzip2", "tonto", "omnetpp", "astar"}},
+        {"Mix3", {"gcc", "bwaves", "mcf", "gromacs"}},
+        {"Mix4", {"libquantum", "lbm", "wrf", "namd"}},
+        {"Mix5", {"povray", "povray", "sjeng", "sjeng"}},
+        {"Mix6", {"namd", "namd", "gromacs", "gromacs"}},
+        {"Mix7", {"bwaves", "bwaves", "bwaves", "bwaves"}},
+        {"Mix8", {"h264ref", "h264ref", "h264ref", "h264ref"}},
+        {"Mix9", {"calculix", "h264ref", "mcf", "sjeng"}},
+        {"Mix10", {"bzip2", "povray", "libquantum", "libquantum"}},
+    };
+    return t;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+mixNames()
+{
+    return {"Mix1", "Mix2", "Mix3", "Mix4", "Mix5",
+            "Mix6", "Mix7", "Mix8", "Mix9", "Mix10"};
+}
+
+std::vector<std::string>
+mixMembers(const std::string &mix)
+{
+    auto it = mixTable().find(mix);
+    if (it == mixTable().end())
+        fp_fatal("unknown mix '%s'", mix.c_str());
+    return it->second;
+}
+
+std::vector<WorkloadProfile>
+mixProfiles(const std::string &mix)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &name : mixMembers(mix))
+        out.push_back(specProfile(name));
+    return out;
+}
+
+std::vector<WorkloadProfile>
+makeMixForCores(unsigned cores, std::uint64_t seed)
+{
+    fp_assert(cores >= 1, "makeMixForCores: zero cores");
+    Rng rng(seed ^ 0x2019);
+    auto lg = lowOverheadGroup();
+    auto hg = highOverheadGroup();
+    std::vector<WorkloadProfile> out;
+    for (unsigned c = 0; c < cores; ++c) {
+        // Alternate groups so every mix exercises both behaviours,
+        // mirroring the paper's Mix9/Mix10 construction.
+        const auto &group = (c % 2 == 0) ? hg : lg;
+        const std::string &name =
+            group[rng.uniformInt(group.size())];
+        out.push_back(specProfile(name));
+    }
+    return out;
+}
+
+} // namespace fp::workload

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The multi-programmed workload mixes of the paper's Table 2, plus a
+ * generator of same-methodology mixes for other core counts
+ * (Figure 17a uses 1/2/4/8-thread mixes "selected following the
+ * similar method").
+ */
+
+#ifndef FP_WORKLOAD_MIXES_HH
+#define FP_WORKLOAD_MIXES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace fp::workload
+{
+
+/** "Mix1" .. "Mix10" in paper order. */
+std::vector<std::string> mixNames();
+
+/** Benchmark names composing a mix (always 4 entries, Table 2). */
+std::vector<std::string> mixMembers(const std::string &mix);
+
+/** Profiles of a mix's member benchmarks. */
+std::vector<WorkloadProfile> mixProfiles(const std::string &mix);
+
+/**
+ * Build a mix of @p cores benchmarks with the paper's method
+ * (random picks from both overhead groups), deterministically from
+ * @p seed.
+ */
+std::vector<WorkloadProfile> makeMixForCores(unsigned cores,
+                                             std::uint64_t seed);
+
+} // namespace fp::workload
+
+#endif // FP_WORKLOAD_MIXES_HH

@@ -1,0 +1,76 @@
+#include "workload/parsec_profiles.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fp::workload
+{
+
+namespace
+{
+
+WorkloadProfile
+make(const std::string &name, double interval, std::uint64_t ws_kib,
+     double alpha, double seq, double wfrac)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.missIntervalCycles = interval;
+    p.workingSetBlocks = ws_kib * 1024 / 64;
+    p.zipfAlpha = alpha;
+    p.seqFraction = seq;
+    p.writeFraction = wfrac;
+    return p;
+}
+
+const std::map<std::string, WorkloadProfile> &
+table()
+{
+    static const std::map<std::string, WorkloadProfile> t = {
+        {"blackscholes",
+         make("blackscholes", 7000, 2048, 0.8, 0.50, 0.20)},
+        {"bodytrack", make("bodytrack", 6000, 8192, 0.7, 0.30, 0.25)},
+        {"canneal", make("canneal", 600, 131072, 0.4, 0.05, 0.30)},
+        {"dedup", make("dedup", 1800, 65536, 0.5, 0.45, 0.40)},
+        {"ferret", make("ferret", 2500, 32768, 0.6, 0.30, 0.30)},
+        {"fluidanimate",
+         make("fluidanimate", 2200, 24576, 0.5, 0.55, 0.40)},
+        {"freqmine", make("freqmine", 3000, 32768, 0.6, 0.25, 0.30)},
+        {"streamcluster",
+         make("streamcluster", 800, 49152, 0.3, 0.70, 0.25)},
+        {"swaptions", make("swaptions", 9000, 1024, 0.85, 0.20, 0.20)},
+        {"x264", make("x264", 5000, 16384, 0.7, 0.45, 0.30)},
+    };
+    return t;
+}
+
+} // anonymous namespace
+
+const WorkloadProfile &
+parsecProfile(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        fp_fatal("unknown PARSEC profile '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+parsecNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, profile] : table())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<WorkloadProfile>
+parsecThreads(const std::string &name, unsigned threads)
+{
+    fp_assert(threads >= 1, "parsecThreads: zero threads");
+    std::vector<WorkloadProfile> out(threads, parsecProfile(name));
+    return out;
+}
+
+} // namespace fp::workload

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * PARSEC-shaped multi-threaded workload profiles (paper Figure 19:
+ * 4-thread runs, one thread per core, shared address space).
+ *
+ * Unlike the multi-programmed SPEC mixes, all threads of a PARSEC
+ * workload draw from one shared working set; the per-thread profile
+ * is identical. As with the SPEC table, parameters are synthetic
+ * calibrations of the well-known relative behaviours (canneal and
+ * streamcluster memory-bound and irregular; swaptions and
+ * blackscholes compute-bound).
+ */
+
+#ifndef FP_WORKLOAD_PARSEC_PROFILES_HH
+#define FP_WORKLOAD_PARSEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace fp::workload
+{
+
+/** Per-thread profile of a PARSEC benchmark. */
+const WorkloadProfile &parsecProfile(const std::string &name);
+
+/** All modelled PARSEC benchmark names. */
+std::vector<std::string> parsecNames();
+
+/**
+ * Profiles for an n-thread run: n copies of the per-thread profile;
+ * the System gives them a shared base address.
+ */
+std::vector<WorkloadProfile>
+parsecThreads(const std::string &name, unsigned threads);
+
+} // namespace fp::workload
+
+#endif // FP_WORKLOAD_PARSEC_PROFILES_HH

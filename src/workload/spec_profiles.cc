@@ -1,0 +1,131 @@
+#include "workload/spec_profiles.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fp::workload
+{
+
+namespace
+{
+
+WorkloadProfile
+make(const std::string &name, double interval, std::uint64_t ws_kib,
+     double alpha, double seq, double wfrac, bool hg)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.missIntervalCycles = interval;
+    p.workingSetBlocks = ws_kib * 1024 / 64; // 64 B blocks
+    p.zipfAlpha = alpha;
+    p.seqFraction = seq;
+    p.writeFraction = wfrac;
+    p.highOverheadGroup = hg;
+    return p;
+}
+
+const std::map<std::string, WorkloadProfile> &
+table()
+{
+    // name, miss interval (cycles), working set (KiB), zipf alpha,
+    // sequential fraction, write fraction, HG membership.
+    //
+    // The zipf skews reflect Table 1's small 1 MB shared LLC: reuse
+    // distances beyond 1 MB recur as misses, so the *miss* stream
+    // keeps moderate temporal locality (alpha <= 0.85; a 200-block
+    // stash catches only a small fraction, an on-chip MB-scale cache
+    // catches noticeably more). Streaming codes (libquantum, lbm,
+    // bwaves) have little.
+    static const std::map<std::string, WorkloadProfile> t = {
+        // --- low ORAM overhead group (LG) --------------------------------
+        {"povray", make("povray", 6000, 2048, 0.85, 0.10, 0.20, false)},
+        {"sjeng", make("sjeng", 4500, 4096, 0.85, 0.05, 0.25, false)},
+        {"GemsFDTD",
+         make("GemsFDTD", 1800, 32768, 0.7, 0.55, 0.35, false)},
+        {"h264ref",
+         make("h264ref", 2600, 8192, 0.8, 0.40, 0.25, false)},
+        {"bzip2", make("bzip2", 2200, 16384, 0.8, 0.35, 0.30, false)},
+        {"tonto", make("tonto", 3800, 4096, 0.85, 0.15, 0.25, false)},
+        {"omnetpp",
+         make("omnetpp", 1700, 24576, 0.8, 0.05, 0.30, false)},
+        {"astar", make("astar", 1900, 16384, 0.8, 0.10, 0.25, false)},
+        {"calculix",
+         make("calculix", 5200, 4096, 0.8, 0.30, 0.25, false)},
+        // --- high ORAM overhead group (HG) --------------------------------
+        {"gcc", make("gcc", 1400, 32768, 0.8, 0.25, 0.35, true)},
+        {"bwaves", make("bwaves", 700, 98304, 0.5, 0.65, 0.30, true)},
+        {"mcf", make("mcf", 450, 131072, 0.85, 0.05, 0.30, true)},
+        {"gromacs",
+         make("gromacs", 2600, 12288, 0.8, 0.30, 0.30, true)},
+        {"libquantum",
+         make("libquantum", 550, 65536, 0.3, 0.80, 0.25, true)},
+        {"lbm", make("lbm", 500, 131072, 0.35, 0.75, 0.45, true)},
+        {"wrf", make("wrf", 1100, 49152, 0.6, 0.50, 0.35, true)},
+        {"namd", make("namd", 2900, 8192, 0.8, 0.25, 0.25, true)},
+    };
+    return t;
+}
+
+/** Apply phase duty-cycling to selected LG benchmarks. */
+const std::map<std::string, WorkloadProfile> &
+phasedTable()
+{
+    static const std::map<std::string, WorkloadProfile> t = [] {
+        auto copy = table();
+        // The paper attributes Mix2's extra dummies to periods of
+        // very low intensity; its members (and a couple of other LG
+        // codes) get pronounced low-intensity phases.
+        for (const char *name :
+             {"bzip2", "tonto", "omnetpp", "astar"}) {
+            auto &p = copy.at(name);
+            p.phasePeriodMisses = 1000;
+            p.phaseLowFraction = 0.3;
+            p.phaseLowFactor = 4.0;
+        }
+        return copy;
+    }();
+    return t;
+}
+
+} // anonymous namespace
+
+const WorkloadProfile &
+specProfile(const std::string &name)
+{
+    auto it = phasedTable().find(name);
+    if (it == table().end())
+        fp_fatal("unknown SPEC profile '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+specNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, profile] : phasedTable())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+lowOverheadGroup()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, profile] : phasedTable())
+        if (!profile.highOverheadGroup)
+            names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+highOverheadGroup()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, profile] : phasedTable())
+        if (profile.highOverheadGroup)
+            names.push_back(name);
+    return names;
+}
+
+} // namespace fp::workload

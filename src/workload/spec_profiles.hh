@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SPEC CPU2006-shaped workload profiles.
+ *
+ * The parameters are synthetic calibrations, not measurements: each
+ * benchmark named in the paper's Table 2 gets a profile whose memory
+ * intensity, working-set size and locality are chosen to be
+ * *relatively* faithful (mcf/lbm/libquantum memory-bound with large
+ * footprints; povray/sjeng/namd compute-bound with small hot sets),
+ * and the low/high ORAM-overhead group split follows the paper's own
+ * mix memberships. See DESIGN.md's substitution table.
+ */
+
+#ifndef FP_WORKLOAD_SPEC_PROFILES_HH
+#define FP_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace fp::workload
+{
+
+/** Profile of a SPEC 2006 benchmark by short name ("mcf", ...). */
+const WorkloadProfile &specProfile(const std::string &name);
+
+/** All modelled SPEC benchmark names. */
+std::vector<std::string> specNames();
+
+/** The paper's low-ORAM-overhead group (LG). */
+std::vector<std::string> lowOverheadGroup();
+
+/** The paper's high-ORAM-overhead group (HG). */
+std::vector<std::string> highOverheadGroup();
+
+} // namespace fp::workload
+
+#endif // FP_WORKLOAD_SPEC_PROFILES_HH

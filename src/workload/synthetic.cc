@@ -1,0 +1,47 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fp::workload
+{
+
+AddressStream::AddressStream(const WorkloadProfile &profile,
+                             BlockAddr base, Rng rng)
+    : profile_(profile), base_(base), rng_(rng),
+      zipf_(std::max<std::uint64_t>(profile.workingSetBlocks, 1),
+            profile.zipfAlpha)
+{
+    fp_assert(profile.workingSetBlocks > 0,
+              "workload '%s': empty working set",
+              profile.name.c_str());
+}
+
+MemRequest
+AddressStream::next()
+{
+    MemRequest req;
+    req.isWrite = rng_.chance(profile_.writeFraction);
+
+    if (seqLeft_ > 0) {
+        // Continue the current sequential run.
+        --seqLeft_;
+        seqPos_ = (seqPos_ + 1) % profile_.workingSetBlocks;
+        req.addr = base_ + seqPos_;
+        return req;
+    }
+
+    if (rng_.chance(profile_.seqFraction)) {
+        // Start a new sequential run at a Zipf-chosen position.
+        seqPos_ = zipf_.sample(rng_);
+        seqLeft_ = rng_.geometric(profile_.seqRunLength);
+        req.addr = base_ + seqPos_;
+        return req;
+    }
+
+    req.addr = base_ + zipf_.sample(rng_);
+    return req;
+}
+
+} // namespace fp::workload

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic LLC-miss stream generation.
+ *
+ * The paper drives its evaluation with SPEC 2006 / PARSEC running on
+ * gem5. Neither is available here, so each benchmark is replaced by a
+ * WorkloadProfile capturing exactly the properties the ORAM results
+ * depend on (see DESIGN.md): how often a thread misses the LLC when
+ * not stalled, how big and how skewed its touched block set is, how
+ * sequential its misses are, and its write share.
+ *
+ * The AddressStream turns a profile into a concrete reproducible
+ * stream: a mixture of strided (sequential) runs and Zipf-distributed
+ * re-references over the working set.
+ */
+
+#ifndef FP_WORKLOAD_SYNTHETIC_HH
+#define FP_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace fp::workload
+{
+
+/** One logical LLC miss. */
+struct MemRequest
+{
+    BlockAddr addr = 0;
+    bool isWrite = false;
+};
+
+/** Benchmark-shaped generator parameters. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /** Mean CPU cycles of compute between LLC misses (unstalled). */
+    double missIntervalCycles = 1000.0;
+
+    /** Blocks the benchmark touches. */
+    std::uint64_t workingSetBlocks = 1 << 16;
+
+    /** Zipf skew over the working set (0 = uniform). */
+    double zipfAlpha = 0.6;
+
+    /** Fraction of misses that continue a sequential run. */
+    double seqFraction = 0.3;
+
+    /** Mean length of a sequential run, in blocks. */
+    double seqRunLength = 8.0;
+
+    /** Fraction of misses that are writes (dirty evictions). */
+    double writeFraction = 0.25;
+
+    /** High-ORAM-overhead group membership (paper Table 2). */
+    bool highOverheadGroup = false;
+
+    // --- phase behaviour ---------------------------------------------
+    // The paper attributes Mix2's extra dummy requests to workloads
+    // with "really low memory intensity in some periods"; these two
+    // knobs model that duty-cycling. A phase period of 0 disables it.
+
+    /** Misses per full high+low phase cycle (0 = steady). */
+    std::uint64_t phasePeriodMisses = 0;
+
+    /** Fraction of each cycle spent in the low-intensity phase. */
+    double phaseLowFraction = 0.5;
+
+    /** Miss-interval multiplier during the low-intensity phase. */
+    double phaseLowFactor = 8.0;
+
+    /** Effective mean miss interval for the @p nth miss. */
+    double
+    missIntervalAt(std::uint64_t nth) const
+    {
+        if (phasePeriodMisses == 0)
+            return missIntervalCycles;
+        std::uint64_t pos = nth % phasePeriodMisses;
+        auto low_len = static_cast<std::uint64_t>(
+            phaseLowFraction *
+            static_cast<double>(phasePeriodMisses));
+        bool low = pos < low_len;
+        return low ? missIntervalCycles * phaseLowFactor
+                   : missIntervalCycles;
+    }
+};
+
+class AddressStream
+{
+  public:
+    /**
+     * @param profile Generator shape.
+     * @param base    First block address of this stream's region
+     *                (cores get disjoint regions; threads of one
+     *                process share one).
+     * @param rng     Private generator (fork from the experiment
+     *                seed for reproducibility).
+     */
+    AddressStream(const WorkloadProfile &profile, BlockAddr base,
+                  Rng rng);
+
+    /** Produce the next miss. */
+    MemRequest next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+    BlockAddr base() const { return base_; }
+
+  private:
+    WorkloadProfile profile_;
+    BlockAddr base_;
+    Rng rng_;
+    ZipfSampler zipf_;
+
+    /** State of the current sequential run. */
+    std::uint64_t seqPos_ = 0;
+    std::uint64_t seqLeft_ = 0;
+};
+
+} // namespace fp::workload
+
+#endif // FP_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,86 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace fp::workload
+{
+
+std::vector<MemRequest>
+readTrace(std::istream &in)
+{
+    std::vector<MemRequest> trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string op;
+        if (!(ls >> op))
+            continue; // blank/comment line
+        std::string addr_str;
+        if (!(ls >> addr_str)) {
+            fp_fatal("trace line %zu: missing address", lineno);
+        }
+        MemRequest req;
+        if (op == "r" || op == "R") {
+            req.isWrite = false;
+        } else if (op == "w" || op == "W") {
+            req.isWrite = true;
+        } else {
+            fp_fatal("trace line %zu: bad op '%s'", lineno,
+                     op.c_str());
+        }
+        req.addr = std::strtoull(addr_str.c_str(), nullptr, 0);
+        trace.push_back(req);
+    }
+    return trace;
+}
+
+std::vector<MemRequest>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fp_fatal("cannot open trace file '%s'", path.c_str());
+    return readTrace(in);
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<MemRequest> &trace)
+{
+    out << "# fork-path ORAM trace: <r|w> <block address>\n";
+    for (const auto &req : trace)
+        out << (req.isWrite ? 'w' : 'r') << ' ' << req.addr << '\n';
+}
+
+void
+saveTrace(const std::string &path,
+          const std::vector<MemRequest> &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        fp_fatal("cannot write trace file '%s'", path.c_str());
+    writeTrace(out, trace);
+}
+
+TraceStream::TraceStream(std::vector<MemRequest> trace)
+    : trace_(std::move(trace))
+{
+    fp_assert(!trace_.empty(), "TraceStream: empty trace");
+}
+
+MemRequest
+TraceStream::next()
+{
+    MemRequest req = trace_[pos_];
+    pos_ = (pos_ + 1) % trace_.size();
+    return req;
+}
+
+} // namespace fp::workload

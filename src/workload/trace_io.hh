@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text trace capture and replay, so experiments can run real
+ * recorded LLC-miss traces instead of (or alongside) the synthetic
+ * profiles.
+ *
+ * Format: one request per line, `r <addr>` or `w <addr>` with the
+ * address in decimal or 0x-hex; `#` starts a comment. This is
+ * deliberately trivial so traces can be produced by any external
+ * tool (a gem5 probe, a Pin tool, a script).
+ */
+
+#ifndef FP_WORKLOAD_TRACE_IO_HH
+#define FP_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace fp::workload
+{
+
+/** Parse a trace from a stream. Malformed lines are fatal. */
+std::vector<MemRequest> readTrace(std::istream &in);
+
+/** Load a trace file (fatal if unreadable). */
+std::vector<MemRequest> loadTrace(const std::string &path);
+
+/** Serialise a trace. */
+void writeTrace(std::ostream &out,
+                const std::vector<MemRequest> &trace);
+
+/** Save a trace file (fatal if unwritable). */
+void saveTrace(const std::string &path,
+               const std::vector<MemRequest> &trace);
+
+/**
+ * A WorkloadProfile-compatible replay source: feeds a fixed request
+ * vector, cycling if the consumer outruns it.
+ */
+class TraceStream
+{
+  public:
+    explicit TraceStream(std::vector<MemRequest> trace);
+
+    MemRequest next();
+
+    std::size_t size() const { return trace_.size(); }
+    std::size_t position() const { return pos_; }
+
+  private:
+    std::vector<MemRequest> trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace fp::workload
+
+#endif // FP_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the address queue's hazard rules: RbR piggybacking, RbW
+ * holds, WbR forwarding, WbW cancellation, and retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/address_queue.hh"
+
+namespace fp::core
+{
+namespace
+{
+
+AddressEntry
+entry(std::uint64_t id, BlockAddr addr, oram::Op op,
+      std::vector<std::uint8_t> data = {})
+{
+    AddressEntry e;
+    e.id = id;
+    e.addr = addr;
+    e.op = op;
+    e.payload = std::move(data);
+    return e;
+}
+
+TEST(AddressQueue, AcceptsUpToCapacity)
+{
+    AddressQueue q(2);
+    EXPECT_TRUE(q.insert(entry(1, 10, oram::Op::read)).accepted);
+    EXPECT_TRUE(q.insert(entry(2, 11, oram::Op::read)).accepted);
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.insert(entry(3, 12, oram::Op::read)).accepted);
+}
+
+TEST(AddressQueue, IndependentAddressesAllIssuable)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::read));
+    q.insert(entry(2, 11, oram::Op::write, {1}));
+    EXPECT_EQ(q.issuableCount(), 2u);
+    EXPECT_EQ(q.nextIssuable()->id, 1u);
+}
+
+TEST(AddressQueue, ReadAfterReadPiggybacks)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::read));
+    q.insert(entry(2, 10, oram::Op::read));
+    // Only the first is issuable; the second rides along.
+    EXPECT_EQ(q.issuableCount(), 1u);
+    EXPECT_EQ(q.piggybacks(), 1u);
+    q.markIssued(1);
+    auto released = q.complete(1, {42});
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0], 2u);
+}
+
+TEST(AddressQueue, ReadAfterWriteForwards)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::write, {9, 9}));
+    auto res = q.insert(entry(2, 10, oram::Op::read));
+    EXPECT_TRUE(res.accepted);
+    EXPECT_TRUE(res.forwarded);
+    EXPECT_EQ(res.forwardData, (std::vector<std::uint8_t>{9, 9}));
+    EXPECT_EQ(q.forwards(), 1u);
+    // The forwarded read never occupies the queue.
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(AddressQueue, WriteAfterReadHeld)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::read));
+    q.insert(entry(2, 10, oram::Op::write, {5}));
+    EXPECT_EQ(q.issuableCount(), 1u);
+    q.markIssued(1);
+    q.complete(1, {1});
+    // Read done: the write becomes issuable.
+    EXPECT_EQ(q.issuableCount(), 1u);
+    EXPECT_EQ(q.nextIssuable()->id, 2u);
+}
+
+TEST(AddressQueue, WriteAfterWriteCancelsOlder)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::write, {1}));
+    auto res = q.insert(entry(2, 10, oram::Op::write, {2}));
+    EXPECT_EQ(res.cancelledId, 1u);
+    EXPECT_EQ(q.cancels(), 1u);
+    // Only the younger write issues.
+    EXPECT_EQ(q.issuableCount(), 1u);
+    EXPECT_EQ(q.nextIssuable()->id, 2u);
+}
+
+TEST(AddressQueue, WriteAfterIssuedWriteOrders)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::write, {1}));
+    q.markIssued(1);
+    auto res = q.insert(entry(2, 10, oram::Op::write, {2}));
+    EXPECT_EQ(res.cancelledId, 0u);
+    EXPECT_EQ(q.issuableCount(), 0u); // held behind the issued write
+    q.complete(1, {});
+    EXPECT_EQ(q.issuableCount(), 1u);
+}
+
+TEST(AddressQueue, ForwardFromCompletedRead)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::read));
+    // Hold retirement by keeping a dependent in the queue.
+    q.insert(entry(2, 10, oram::Op::write, {7}));
+    q.markIssued(1);
+    q.complete(1, {3});
+    // A read arriving now forwards from the completed read's data if
+    // the entry is still resident, or misses cleanly if retired.
+    auto res = q.insert(entry(3, 10, oram::Op::read));
+    EXPECT_TRUE(res.accepted);
+}
+
+TEST(AddressQueue, RetiresCompletedEntries)
+{
+    AddressQueue q(2);
+    q.insert(entry(1, 10, oram::Op::read));
+    q.markIssued(1);
+    q.complete(1, {});
+    EXPECT_EQ(q.size(), 0u);
+    // Space reclaimed.
+    EXPECT_TRUE(q.insert(entry(2, 11, oram::Op::read)).accepted);
+    EXPECT_TRUE(q.insert(entry(3, 12, oram::Op::read)).accepted);
+}
+
+TEST(AddressQueue, ChainedPiggybacks)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::read));
+    q.insert(entry(2, 10, oram::Op::read));
+    q.insert(entry(3, 10, oram::Op::read));
+    q.markIssued(1);
+    EXPECT_EQ(q.issuableCount(), 0u);
+    auto released = q.complete(1, {8});
+    // Releasing 1 frees 2 (and possibly 3 transitively through 2).
+    EXPECT_GE(released.size(), 1u);
+    for (std::uint64_t id : released) {
+        for (std::uint64_t sub : q.complete(id, {8}))
+            q.complete(sub, {8});
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AddressQueue, HazardsOnlyApplyPerAddress)
+{
+    AddressQueue q(8);
+    q.insert(entry(1, 10, oram::Op::write, {1}));
+    q.insert(entry(2, 11, oram::Op::write, {2}));
+    EXPECT_EQ(q.cancels(), 0u);
+    EXPECT_EQ(q.issuableCount(), 2u);
+}
+
+} // anonymous namespace
+} // namespace fp::core

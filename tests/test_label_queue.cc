@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the label queue: Algorithm 1 insertion, dummy padding,
+ * overlap-maximising selection, real-over-dummy tie-breaking, aging
+ * promotion and the two dummy policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/label_queue.hh"
+
+namespace fp::core
+{
+namespace
+{
+
+mem::TreeGeometry geo8(8);
+
+LabelQueue
+makeQueue(std::size_t cap, unsigned aging = 100,
+          DummySelectPolicy policy = DummySelectPolicy::compete)
+{
+    return LabelQueue(geo8, cap, aging, policy, 77);
+}
+
+TEST(LabelQueue, PadsToCapacity)
+{
+    auto q = makeQueue(8);
+    EXPECT_EQ(q.size(), 0u);
+    q.ensureFull();
+    EXPECT_EQ(q.size(), 8u);
+    EXPECT_EQ(q.realCount(), 0u);
+    EXPECT_EQ(q.dummyCount(), 8u);
+}
+
+TEST(LabelQueue, RealReplacesFirstDummy)
+{
+    auto q = makeQueue(4);
+    q.ensureFull();
+    EXPECT_TRUE(q.insertReal(3, 1));
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.realCount(), 1u);
+    EXPECT_FALSE(q.entries()[0].dummy);
+    EXPECT_EQ(q.entries()[0].label, 3u);
+}
+
+TEST(LabelQueue, RejectsWhenFullOfReals)
+{
+    auto q = makeQueue(2);
+    EXPECT_TRUE(q.insertReal(0, 1));
+    EXPECT_TRUE(q.insertReal(1, 2));
+    EXPECT_FALSE(q.insertReal(2, 3));
+    EXPECT_TRUE(q.insertReal(2, 3, /*allow_overflow=*/true));
+    EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(LabelQueue, HasSpaceForReal)
+{
+    auto q = makeQueue(2);
+    EXPECT_TRUE(q.hasSpaceForReal());
+    q.insertReal(0, 1);
+    q.insertReal(1, 2);
+    EXPECT_FALSE(q.hasSpaceForReal());
+    auto q2 = makeQueue(2);
+    q2.ensureFull();
+    EXPECT_TRUE(q2.hasSpaceForReal()); // dummies are replaceable
+}
+
+TEST(LabelQueue, SelectsMaxOverlap)
+{
+    auto q = makeQueue(4);
+    // current = leaf 0 (binary 00000000 at L=8). Candidates:
+    // 255 overlaps 1 (root only), 1 overlaps 8, 128 overlaps 1.
+    q.insertReal(255, 1);
+    q.insertReal(1, 2);
+    q.insertReal(128, 3);
+    auto sel = q.selectNext(0);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_EQ(sel->label, 1u);
+    EXPECT_EQ(sel->token, 2u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(LabelQueue, RealBeatsDummyOnTie)
+{
+    auto q = makeQueue(2);
+    q.ensureFull();
+    // Replace the first dummy with a real of label 200; then force a
+    // tie by checking against current = the dummy's own label is
+    // unlikely; instead verify the property directly: insert a real
+    // whose overlap equals the best dummy's.
+    auto dummy_label = q.entries()[1].label;
+    q.insertReal(dummy_label, 9); // same label -> same overlap
+    auto sel = q.selectNext(dummy_label);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_FALSE(sel->dummy);
+    EXPECT_EQ(sel->token, 9u);
+}
+
+TEST(LabelQueue, EmptySelectReturnsNullopt)
+{
+    auto q = makeQueue(4);
+    EXPECT_FALSE(q.selectNext(0).has_value());
+}
+
+TEST(LabelQueue, AgingPromotesStarvedReal)
+{
+    // Aging threshold 2: after losing twice, the real must win even
+    // against better-overlapping dummies.
+    auto q = makeQueue(4, /*aging=*/2);
+    q.insertReal(255, 1); // poor overlap with current=0
+    q.ensureFull();
+    int rounds_until_selected = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto sel = q.selectNext(0);
+        ASSERT_TRUE(sel.has_value());
+        ++rounds_until_selected;
+        if (!sel->dummy) {
+            EXPECT_EQ(sel->token, 1u);
+            break;
+        }
+        q.ensureFull();
+    }
+    EXPECT_LE(rounds_until_selected, 3);
+    EXPECT_GE(q.agingPromotions() + 1, 1u);
+}
+
+TEST(LabelQueue, RealFirstPolicyIgnoresDummies)
+{
+    auto q = makeQueue(8, 100, DummySelectPolicy::realFirst);
+    q.ensureFull();
+    q.insertReal(255, 5); // worst possible overlap with 0
+    auto sel = q.selectNext(0);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_FALSE(sel->dummy);
+    EXPECT_EQ(sel->token, 5u);
+}
+
+TEST(LabelQueue, RealFirstFallsBackToDummies)
+{
+    auto q = makeQueue(4, 100, DummySelectPolicy::realFirst);
+    q.ensureFull();
+    auto sel = q.selectNext(0);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_TRUE(sel->dummy);
+}
+
+TEST(LabelQueue, CompetePolicyCountsDummySelections)
+{
+    auto q = makeQueue(16);
+    q.ensureFull();
+    q.selectNext(0);
+    EXPECT_EQ(q.dummiesSelected(), 1u);
+    EXPECT_EQ(q.selections(), 1u);
+}
+
+TEST(LabelQueue, LosingToRealDoesNotAge)
+{
+    auto q = makeQueue(4, 100);
+    q.insertReal(255, 1);
+    q.insertReal(0, 2);
+    q.selectNext(0); // selects token 2 (exact match)
+    ASSERT_EQ(q.realCount(), 1u);
+    EXPECT_EQ(q.entries()[0].age, 0u);
+}
+
+TEST(LabelQueue, LosingToDummyAges)
+{
+    auto q = makeQueue(4, 100);
+    q.ensureFull();
+    auto dummy_label = q.entries()[1].label;
+    // A real whose overlap is strictly worse than a full-match dummy.
+    q.insertReal(dummy_label ^ ((1u << 7)), 1);
+    auto sel = q.selectNext(dummy_label);
+    ASSERT_TRUE(sel.has_value());
+    ASSERT_TRUE(sel->dummy);
+    for (const auto &e : q.entries()) {
+        if (!e.dummy) {
+            EXPECT_EQ(e.age, 1u);
+        }
+    }
+}
+
+TEST(LabelQueue, SelectionKeepsQueueConsistent)
+{
+    auto q = makeQueue(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        q.insertReal(i * 37 % 256, 100 + i);
+    q.ensureFull();
+    std::size_t reals = q.realCount();
+    for (int i = 0; i < 8; ++i) {
+        auto sel = q.selectNext(13);
+        ASSERT_TRUE(sel.has_value());
+        if (!sel->dummy)
+            --reals;
+        EXPECT_EQ(q.realCount(), reals);
+    }
+    EXPECT_EQ(reals, 0u);
+}
+
+} // anonymous namespace
+} // namespace fp::core

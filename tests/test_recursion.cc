@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the hierarchical (recursive) position map: the unified
+ * address-space layout arithmetic and end-to-end data correctness
+ * through multiple recursion levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "oram/recursion.hh"
+#include "util/random.hh"
+
+namespace fp::oram
+{
+namespace
+{
+
+TEST(RecursionLayout, FlatWhenSmall)
+{
+    RecursionLayout layout(100, 8, 1024);
+    EXPECT_EQ(layout.numPosmapLevels(), 0u);
+    EXPECT_EQ(layout.totalBlocks(), 100u);
+    EXPECT_EQ(layout.onChipEntries(), 100u);
+}
+
+TEST(RecursionLayout, TwoLevels)
+{
+    // 4096 data blocks, fanout 8: level1 = 512, level2 = 64 <= 64.
+    RecursionLayout layout(4096, 8, 64);
+    EXPECT_EQ(layout.numPosmapLevels(), 2u);
+    EXPECT_EQ(layout.levelCount(0), 4096u);
+    EXPECT_EQ(layout.levelCount(1), 512u);
+    EXPECT_EQ(layout.levelCount(2), 64u);
+    EXPECT_EQ(layout.levelStart(0), 0u);
+    EXPECT_EQ(layout.levelStart(1), 4096u);
+    EXPECT_EQ(layout.levelStart(2), 4608u);
+    EXPECT_EQ(layout.totalBlocks(), 4096u + 512u + 64u);
+}
+
+TEST(RecursionLayout, BlockForAndSlot)
+{
+    RecursionLayout layout(4096, 8, 64);
+    // Data address 100: level-1 block 12 (100/8), slot 4 (100%8).
+    EXPECT_EQ(layout.blockFor(1, 100), 4096u + 12u);
+    EXPECT_EQ(layout.slotWithin(1, 100), 4u);
+    // Level-2 block for 100: 100/64 = 1; slot = 12 % 8 = 4.
+    EXPECT_EQ(layout.blockFor(2, 100), 4608u + 1u);
+    EXPECT_EQ(layout.slotWithin(2, 100), 4u);
+}
+
+TEST(RecursionLayout, NonPowerOfTwoCounts)
+{
+    RecursionLayout layout(1000, 8, 20);
+    EXPECT_EQ(layout.levelCount(1), 125u);
+    EXPECT_EQ(layout.levelCount(2), 16u);
+    EXPECT_EQ(layout.numPosmapLevels(), 2u);
+    // Every data address maps to an in-range block at every level.
+    for (BlockAddr a : {0ULL, 999ULL, 512ULL}) {
+        for (unsigned lvl = 1; lvl <= 2; ++lvl) {
+            BlockAddr b = layout.blockFor(lvl, a);
+            EXPECT_GE(b, layout.levelStart(lvl));
+            EXPECT_LT(b, layout.levelStart(lvl) +
+                             layout.levelCount(lvl));
+        }
+    }
+}
+
+RecursiveOramParams
+smallRecursive(std::uint64_t n = 512, std::uint64_t on_chip = 16)
+{
+    RecursiveOramParams p;
+    p.numDataBlocks = n;
+    p.fanout = 8;
+    p.onChipLimit = on_chip;
+    p.payloadBytes = 64;
+    p.seed = 42;
+    return p;
+}
+
+std::vector<std::uint8_t>
+valueFor(std::uint64_t x)
+{
+    std::vector<std::uint8_t> v(64);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<std::uint8_t>(x * 31 + i);
+    return v;
+}
+
+TEST(RecursivePathOram, ChainLength)
+{
+    RecursivePathOram oram(smallRecursive());
+    // 512 -> 64 -> 8 <= 16: two posmap levels? 512/8=64, 64 > 16,
+    // 64/8=8 <= 16 -> 2 levels -> chain 3.
+    EXPECT_EQ(oram.layout().numPosmapLevels(), 2u);
+    EXPECT_EQ(oram.chainLength(), 3u);
+}
+
+TEST(RecursivePathOram, ReadYourWrite)
+{
+    RecursivePathOram oram(smallRecursive());
+    oram.write(17, valueFor(17));
+    EXPECT_EQ(oram.read(17), valueFor(17));
+}
+
+TEST(RecursivePathOram, FreshReadsZero)
+{
+    RecursivePathOram oram(smallRecursive());
+    EXPECT_EQ(oram.read(3), std::vector<std::uint8_t>(64, 0));
+}
+
+TEST(RecursivePathOram, RandomWorkload)
+{
+    RecursivePathOram oram(smallRecursive());
+    std::map<BlockAddr, std::vector<std::uint8_t>> ref;
+    Rng rng(5);
+    for (int i = 0; i < 1500; ++i) {
+        BlockAddr a = rng.uniformInt(512);
+        if (rng.chance(0.5)) {
+            auto v = valueFor(rng());
+            oram.write(a, v);
+            ref[a] = v;
+        } else {
+            auto expect = ref.count(a)
+                              ? ref[a]
+                              : std::vector<std::uint8_t>(64, 0);
+            EXPECT_EQ(oram.read(a), expect) << "addr " << a;
+        }
+    }
+}
+
+TEST(RecursivePathOram, DeepRecursion)
+{
+    // Force 3+ levels with a tiny on-chip limit.
+    RecursiveOramParams p = smallRecursive(4096, 2);
+    RecursivePathOram oram(p);
+    EXPECT_GE(oram.layout().numPosmapLevels(), 3u);
+    std::map<BlockAddr, std::vector<std::uint8_t>> ref;
+    Rng rng(6);
+    for (int i = 0; i < 400; ++i) {
+        BlockAddr a = rng.uniformInt(4096);
+        auto v = valueFor(rng());
+        oram.write(a, v);
+        ref[a] = v;
+    }
+    for (const auto &[a, v] : ref)
+        EXPECT_EQ(oram.read(a), v) << "addr " << a;
+}
+
+TEST(RecursivePathOram, StashBounded)
+{
+    RecursivePathOram oram(smallRecursive());
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i)
+        oram.write(rng.uniformInt(512), valueFor(i));
+    EXPECT_EQ(oram.engine().stash().overflowEvents(), 0u);
+}
+
+} // anonymous namespace
+} // namespace fp::oram

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests of the sim-layer components not covered by the full-system
+ * suite: the SyncOram facade, the controller energy model, and the
+ * configuration variant helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "sim/sim_config.hh"
+#include "sim/sync_oram.hh"
+#include "util/random.hh"
+
+namespace fp::sim
+{
+namespace
+{
+
+core::ControllerParams
+syncParams()
+{
+    auto p = core::ControllerParams::forkPath();
+    p.oram.leafLevel = 10;
+    p.oram.payloadBytes = 16;
+    p.oram.seed = 5;
+    p.labelQueueSize = 8;
+    p.cacheBudgetBytes = 32 << 10;
+    return p;
+}
+
+TEST(SyncOram, ReadYourWrites)
+{
+    SyncOram oram(syncParams());
+    std::vector<std::uint8_t> v(16, 0xAB);
+    oram.write(9, v);
+    EXPECT_EQ(oram.read(9), v);
+    EXPECT_EQ(oram.read(10), std::vector<std::uint8_t>(16, 0));
+}
+
+TEST(SyncOram, EncryptedMode)
+{
+    auto p = syncParams();
+    p.oram.encrypt = true;
+    SyncOram oram(p);
+    std::vector<std::uint8_t> v(16, 0x3C);
+    oram.write(1, v);
+    EXPECT_EQ(oram.read(1), v);
+}
+
+TEST(SyncOram, TimeAdvances)
+{
+    SyncOram oram(syncParams());
+    Tick t0 = oram.now();
+    oram.write(1, std::vector<std::uint8_t>(16, 1));
+    EXPECT_GT(oram.now(), t0);
+}
+
+TEST(SyncOram, BlockSizeMatchesConfig)
+{
+    SyncOram oram(syncParams());
+    EXPECT_EQ(oram.blockSize(), 16u);
+}
+
+TEST(SyncOramDeathTest, WrongSizeWriteFatal)
+{
+    SyncOram oram(syncParams());
+    EXPECT_DEATH(oram.write(1, std::vector<std::uint8_t>(3, 0)),
+                 "write of 3 bytes");
+}
+
+TEST(SyncOram, ManyBlocksStressWithMac)
+{
+    SyncOram oram(syncParams());
+    Rng rng(17);
+    std::vector<std::uint8_t> expect(64);
+    for (std::uint64_t a = 0; a < 64; ++a) {
+        std::vector<std::uint8_t> v(16,
+                                    static_cast<std::uint8_t>(a));
+        oram.write(a, v);
+        expect[a] = static_cast<std::uint8_t>(a);
+    }
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.uniformInt(64);
+        EXPECT_EQ(oram.read(a)[0], expect[a]);
+    }
+}
+
+// --- bulk load -----------------------------------------------------------
+
+TEST(SyncOramBulkLoad, ReadsBackAllBlocks)
+{
+    SyncOram oram(syncParams());
+    std::vector<std::pair<BlockAddr, std::vector<std::uint8_t>>>
+        blocks;
+    for (std::uint64_t a = 0; a < 200; ++a) {
+        blocks.emplace_back(
+            a, std::vector<std::uint8_t>(
+                   16, static_cast<std::uint8_t>(a * 3)));
+    }
+    oram.bulkLoad(blocks);
+    Rng rng(23);
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t a = rng.uniformInt(200);
+        EXPECT_EQ(oram.read(a)[0],
+                  static_cast<std::uint8_t>(a * 3))
+            << "addr " << a;
+    }
+}
+
+TEST(SyncOramBulkLoad, FastPathDominates)
+{
+    SyncOram oram(syncParams());
+    std::vector<std::pair<BlockAddr, std::vector<std::uint8_t>>>
+        blocks;
+    for (std::uint64_t a = 0; a < 300; ++a)
+        blocks.emplace_back(a, std::vector<std::uint8_t>(16, 1));
+    std::size_t slow = oram.bulkLoad(blocks);
+    // L=10 with MAC band up to ~some level still leaves plenty of
+    // deep slots; at most a handful of blocks should need the slow
+    // path, and planting must not consume timed accesses.
+    EXPECT_LT(slow, 20u);
+    EXPECT_EQ(oram.controller().realAccesses(), slow);
+}
+
+TEST(SyncOramBulkLoad, CoexistsWithIntegrity)
+{
+    auto p = syncParams();
+    p.enableIntegrity = true;
+    SyncOram oram(p);
+    std::vector<std::pair<BlockAddr, std::vector<std::uint8_t>>>
+        blocks;
+    for (std::uint64_t a = 0; a < 100; ++a)
+        blocks.emplace_back(
+            a, std::vector<std::uint8_t>(
+                   16, static_cast<std::uint8_t>(a)));
+    oram.bulkLoad(blocks);
+    // Post-load accesses must verify cleanly against the root the
+    // bulk load maintained.
+    Rng rng(29);
+    for (int i = 0; i < 150; ++i)
+        oram.read(rng.uniformInt(100));
+    EXPECT_EQ(oram.controller().merkle()->failures(), 0u);
+}
+
+TEST(SyncOramBulkLoadDeathTest, AfterAccessFatal)
+{
+    SyncOram oram(syncParams());
+    oram.write(1, std::vector<std::uint8_t>(16, 1));
+    EXPECT_DEATH(
+        oram.bulkLoad({{2, std::vector<std::uint8_t>(16, 2)}}),
+        "before the first access");
+}
+
+// --- energy model -----------------------------------------------------------
+
+TEST(ControllerEnergy, ScalesWithWork)
+{
+    auto p = syncParams();
+    SyncOram small(p), big(p);
+    small.write(1, std::vector<std::uint8_t>(16, 1));
+    for (std::uint64_t a = 0; a < 64; ++a)
+        big.write(a, std::vector<std::uint8_t>(16, 1));
+    double e_small =
+        controllerEnergyNj(small.controller(), small.now());
+    double e_big = controllerEnergyNj(big.controller(), big.now());
+    EXPECT_GT(e_big, e_small);
+}
+
+TEST(ControllerEnergy, CacheAddsLeakage)
+{
+    auto with_cache = syncParams();
+    auto without = syncParams();
+    without.cachePolicy = core::CachePolicy::none;
+    SyncOram a(with_cache), b(without);
+    a.write(1, std::vector<std::uint8_t>(16, 1));
+    b.write(1, std::vector<std::uint8_t>(16, 1));
+    // Equal simulated time horizon for a fair leakage comparison.
+    Tick horizon = std::max(a.now(), b.now());
+    EXPECT_GT(controllerEnergyNj(a.controller(), horizon),
+              controllerEnergyNj(b.controller(), horizon));
+}
+
+// --- config variants ----------------------------------------------------------
+
+TEST(SimConfigVariants, TraditionalResetsFeatures)
+{
+    auto cfg = SimConfig::paperDefault();
+    cfg.controller.oram.leafLevel = 14;
+    auto t = withTraditional(cfg);
+    EXPECT_FALSE(t.controller.enableMerging);
+    EXPECT_EQ(t.controller.labelQueueSize, 1u);
+    EXPECT_EQ(t.controller.cachePolicy, core::CachePolicy::none);
+    // ORAM geometry is preserved.
+    EXPECT_EQ(t.controller.oram.leafLevel, 14u);
+}
+
+TEST(SimConfigVariants, MergeVariants)
+{
+    auto cfg = SimConfig::paperDefault();
+    auto m = withMergeOnly(cfg, 32);
+    EXPECT_TRUE(m.controller.enableMerging);
+    EXPECT_EQ(m.controller.labelQueueSize, 32u);
+    EXPECT_EQ(m.controller.cachePolicy, core::CachePolicy::none);
+
+    auto mac = withMergeMac(cfg, 256 << 10, 32);
+    EXPECT_EQ(mac.controller.cachePolicy, core::CachePolicy::mac);
+    EXPECT_EQ(mac.controller.cacheBudgetBytes, 256u << 10);
+
+    auto tt = withMergeTreetop(cfg, 512 << 10, 16);
+    EXPECT_EQ(tt.controller.cachePolicy, core::CachePolicy::treetop);
+
+    auto ins = withInsecure(cfg);
+    EXPECT_TRUE(ins.insecure);
+}
+
+TEST(SimConfigVariants, PaperDefaultMatchesTable1)
+{
+    auto cfg = SimConfig::paperDefault();
+    EXPECT_EQ(cfg.cores, 4u);
+    EXPECT_EQ(cfg.cpuPeriodTicks, 500u); // 2 GHz
+    EXPECT_EQ(cfg.controller.oram.leafLevel, 24u);
+    EXPECT_EQ(cfg.controller.oram.z, 4u);
+    EXPECT_EQ(cfg.dram.org.channels, 2u);
+    // DDR3-1600: 12.8 GB/s per channel.
+    EXPECT_NEAR(cfg.dram.org.peakBandwidth(cfg.dram.timing) / 1e9 /
+                    cfg.dram.org.channels,
+                12.8, 0.1);
+}
+
+} // anonymous namespace
+} // namespace fp::sim

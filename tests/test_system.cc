@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Full-system integration tests: insecure vs traditional vs Fork
+ * Path on small configurations, checking the qualitative shapes the
+ * paper's figures rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "workload/mixes.hh"
+#include "workload/spec_profiles.hh"
+
+namespace fp::sim
+{
+namespace
+{
+
+SimConfig
+smallConfig(unsigned cores = 2, std::uint64_t requests = 250)
+{
+    SimConfig cfg = SimConfig::paperDefault();
+    cfg.cores = cores;
+    cfg.requestsPerCore = requests;
+    cfg.controller.oram.leafLevel = 12; // keep runs quick
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::vector<workload::WorkloadProfile>
+intenseProfiles(unsigned cores)
+{
+    std::vector<workload::WorkloadProfile> out;
+    for (unsigned i = 0; i < cores; ++i)
+        out.push_back(workload::specProfile(i % 2 ? "mcf" : "lbm"));
+    return out;
+}
+
+TEST(System, RunsToCompletion)
+{
+    auto cfg = withTraditional(smallConfig());
+    auto result = runProfiles(cfg, intenseProfiles(2));
+    EXPECT_GT(result.executionTicks, 0u);
+    EXPECT_EQ(result.llcRequests, 2u * 250u);
+    EXPECT_GT(result.avgLlcLatencyNs, 0.0);
+}
+
+TEST(System, OramSlowsDownVsInsecure)
+{
+    auto profiles = intenseProfiles(2);
+    auto secure = runProfiles(withTraditional(smallConfig()),
+                              profiles);
+    auto insecure = runProfiles(withInsecure(smallConfig()),
+                                profiles);
+    // The paper reports ~10x slowdowns at L=24; at L=12 the factor
+    // is smaller but must still be clearly > 2.
+    double slowdown = static_cast<double>(secure.executionTicks) /
+                      static_cast<double>(insecure.executionTicks);
+    EXPECT_GT(slowdown, 2.0);
+}
+
+TEST(System, ForkPathBeatsTraditionalOnIntenseWorkloads)
+{
+    auto profiles = intenseProfiles(4);
+    auto cfg = smallConfig(4, 400);
+    auto trad = runProfiles(withTraditional(cfg), profiles);
+    auto fork = runProfiles(withMergeOnly(cfg, 16), profiles);
+    EXPECT_LT(fork.avgLlcLatencyNs, trad.avgLlcLatencyNs);
+    EXPECT_LT(fork.executionTicks, trad.executionTicks);
+    EXPECT_LT(fork.avgReadPathLen, trad.avgReadPathLen);
+}
+
+TEST(System, MacReducesLatencyFurther)
+{
+    auto profiles = intenseProfiles(4);
+    auto cfg = smallConfig(4, 400);
+    auto merge = runProfiles(withMergeOnly(cfg, 16), profiles);
+    auto mac =
+        runProfiles(withMergeMac(cfg, 64 << 10, 16), profiles);
+    EXPECT_LT(mac.avgLlcLatencyNs, merge.avgLlcLatencyNs);
+}
+
+TEST(System, ForkPathSavesDramEnergy)
+{
+    auto profiles = intenseProfiles(4);
+    auto cfg = smallConfig(4, 400);
+    auto trad = runProfiles(withTraditional(cfg), profiles);
+    auto fork = runProfiles(withMergeMac(cfg, 64 << 10, 16),
+                            profiles);
+    // Same work, fewer bucket transfers -> less DRAM energy.
+    EXPECT_LT(fork.dramEnergyNj, trad.dramEnergyNj);
+}
+
+TEST(System, QueueSizeOneMeansMergingOnly)
+{
+    auto profiles = intenseProfiles(2);
+    auto cfg = smallConfig(2, 300);
+    auto merge1 = runProfiles(withMergeOnly(cfg, 1), profiles);
+    auto trad = runProfiles(withTraditional(cfg), profiles);
+    // Even merging alone shortens paths (expected overlap ~2).
+    EXPECT_LT(merge1.avgReadPathLen, trad.avgReadPathLen);
+    EXPECT_GE(merge1.avgReadPathLen, trad.avgReadPathLen - 4.0);
+}
+
+TEST(System, SchedulingImprovesOverlapWithQueueSize)
+{
+    auto profiles = intenseProfiles(4);
+    auto cfg = smallConfig(4, 400);
+    auto q1 = runProfiles(withMergeOnly(cfg, 1), profiles);
+    auto q16 = runProfiles(withMergeOnly(cfg, 16), profiles);
+    EXPECT_LT(q16.avgReadPathLen, q1.avgReadPathLen);
+}
+
+TEST(System, InOrderSuffersMoreDummies)
+{
+    auto profiles = intenseProfiles(2);
+    auto cfg = smallConfig(2, 300);
+    auto ooo_cfg = withMergeOnly(cfg, 8);
+    ooo_cfg.maxOutstanding = 8;
+    auto inorder_cfg = withMergeOnly(cfg, 8);
+    inorder_cfg.maxOutstanding = 1;
+    auto ooo = runProfiles(ooo_cfg, profiles);
+    auto inorder = runProfiles(inorder_cfg, profiles);
+    double ooo_ratio = static_cast<double>(ooo.dummyAccesses) /
+                       static_cast<double>(ooo.realAccesses);
+    double io_ratio =
+        static_cast<double>(inorder.dummyAccesses) /
+        static_cast<double>(inorder.realAccesses);
+    EXPECT_GT(io_ratio, ooo_ratio);
+}
+
+TEST(System, MixRunnersWork)
+{
+    auto cfg = withMergeOnly(smallConfig(4, 150), 8);
+    auto result = runMix(cfg, "Mix4");
+    EXPECT_EQ(result.llcRequests, 4u * 150u);
+    EXPECT_GT(result.realAccesses, 0u);
+}
+
+TEST(System, ParsecRunnerSharesAddressSpace)
+{
+    auto cfg = withMergeOnly(smallConfig(4, 150), 8);
+    auto result = runParsec(cfg, "canneal");
+    EXPECT_EQ(result.llcRequests, 4u * 150u);
+}
+
+TEST(System, StashHealthyAtScale)
+{
+    auto cfg = withMergeOnly(smallConfig(4, 800), 16);
+    auto result = runProfiles(cfg, intenseProfiles(4));
+    EXPECT_EQ(result.stashOverflows, 0u);
+    EXPECT_LT(result.stashPeak, 200u);
+}
+
+TEST(System, EnergyBreakdownPopulated)
+{
+    auto cfg = withMergeMac(smallConfig(2, 200), 64 << 10, 8);
+    auto result = runProfiles(cfg, intenseProfiles(2));
+    EXPECT_GT(result.dramEnergyNj, 0.0);
+    EXPECT_GT(result.controllerEnergyNj, 0.0);
+    // The paper's premise: external memory dominates.
+    EXPECT_GT(result.dramEnergyNj, result.controllerEnergyNj);
+}
+
+TEST(System, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(System, FullSizeTreeSmoke)
+{
+    // The paper's L=24 tree must run (lazy materialization).
+    auto cfg = withMergeOnly(SimConfig::paperDefault(), 64);
+    cfg.cores = 4;
+    cfg.requestsPerCore = 50;
+    auto result = runProfiles(cfg, intenseProfiles(4));
+    EXPECT_EQ(result.llcRequests, 200u);
+    EXPECT_GT(result.avgReadPathLen, 15.0);
+}
+
+} // anonymous namespace
+} // namespace fp::sim

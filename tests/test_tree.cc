@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Property tests of the ORAM tree substrate: geometry arithmetic
+ * (parameterized across tree depths), buckets, and the lazy encrypted
+ * tree store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bucket.hh"
+#include "mem/tree_geometry.hh"
+#include "mem/tree_store.hh"
+#include "util/random.hh"
+
+namespace fp::mem
+{
+namespace
+{
+
+// --- geometry: fixed-point checks -----------------------------------------
+
+TEST(Geometry, PaperConfiguration)
+{
+    // 4 GB data, 64 B blocks, 50% utilization, Z=4 -> L=24,
+    // path length 25 (the paper's "baseline path length equals 25").
+    auto geo = TreeGeometry::forCapacity(4ULL << 30, 64, 0.5, 4);
+    EXPECT_EQ(geo.leafLevel(), 24u);
+    EXPECT_EQ(geo.numLevels(), 25u);
+}
+
+TEST(Geometry, CapacitySweep)
+{
+    // Fig 17(b): ORAM sizes 1/4/16/32 GB.
+    EXPECT_EQ(TreeGeometry::forCapacity(1ULL << 30, 64, 0.5, 4)
+                  .leafLevel(),
+              22u);
+    EXPECT_EQ(TreeGeometry::forCapacity(16ULL << 30, 64, 0.5, 4)
+                  .leafLevel(),
+              26u);
+    EXPECT_EQ(TreeGeometry::forCapacity(32ULL << 30, 64, 0.5, 4)
+                  .leafLevel(),
+              27u);
+}
+
+TEST(Geometry, SmallTreeByHand)
+{
+    TreeGeometry geo(2); // 7 buckets: level 0 {0}, 1 {1,2}, 2 {3..6}
+    EXPECT_EQ(geo.numLeaves(), 4u);
+    EXPECT_EQ(geo.numBuckets(), 7u);
+    EXPECT_EQ(geo.bucketAt(0, 0), 0u);
+    EXPECT_EQ(geo.bucketAt(0, 1), 1u);
+    EXPECT_EQ(geo.bucketAt(0, 2), 3u);
+    EXPECT_EQ(geo.bucketAt(3, 1), 2u);
+    EXPECT_EQ(geo.bucketAt(3, 2), 6u);
+    EXPECT_EQ(geo.overlap(0, 0), 3u);
+    EXPECT_EQ(geo.overlap(0, 1), 2u); // share root + level-1 node
+    EXPECT_EQ(geo.overlap(0, 2), 1u); // share root only
+    EXPECT_EQ(geo.overlap(0, 3), 1u);
+    EXPECT_EQ(geo.overlap(2, 3), 2u);
+}
+
+TEST(Geometry, PathIndicesRootFirst)
+{
+    TreeGeometry geo(3);
+    auto path = geo.pathIndices(5);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0], 0u);
+    for (std::size_t i = 0; i < path.size(); ++i)
+        EXPECT_EQ(geo.levelOf(path[i]), i);
+}
+
+// --- geometry: properties across depths -----------------------------------
+
+class GeometryProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GeometryProperty, LevelOffsetRoundTrip)
+{
+    TreeGeometry geo(GetParam());
+    Rng rng(GetParam() * 31 + 1);
+    for (int i = 0; i < 500; ++i) {
+        BucketIndex idx = rng.uniformInt(geo.numBuckets());
+        unsigned level = geo.levelOf(idx);
+        std::uint64_t off = geo.offsetInLevel(idx);
+        EXPECT_EQ(((std::uint64_t{1} << level) - 1) + off, idx);
+        EXPECT_LT(off, std::uint64_t{1} << level);
+    }
+}
+
+TEST_P(GeometryProperty, AncestorConsistency)
+{
+    TreeGeometry geo(GetParam());
+    Rng rng(GetParam() * 37 + 2);
+    for (int i = 0; i < 200; ++i) {
+        LeafLabel l = rng.uniformInt(geo.numLeaves());
+        // Each path node's parent is the next node up the path.
+        for (unsigned d = 1; d <= geo.leafLevel(); ++d) {
+            BucketIndex child = geo.bucketAt(l, d);
+            BucketIndex parent = geo.bucketAt(l, d - 1);
+            EXPECT_EQ((child - 1) / 2, parent);
+        }
+    }
+}
+
+TEST_P(GeometryProperty, OverlapSymmetricAndBounded)
+{
+    TreeGeometry geo(GetParam());
+    Rng rng(GetParam() * 41 + 3);
+    for (int i = 0; i < 500; ++i) {
+        LeafLabel a = rng.uniformInt(geo.numLeaves());
+        LeafLabel b = rng.uniformInt(geo.numLeaves());
+        unsigned ov = geo.overlap(a, b);
+        EXPECT_EQ(ov, geo.overlap(b, a));
+        EXPECT_GE(ov, 1u);
+        EXPECT_LE(ov, geo.numLevels());
+        if (a == b) {
+            EXPECT_EQ(ov, geo.numLevels());
+        }
+    }
+}
+
+TEST_P(GeometryProperty, OverlapMatchesSharedPathPrefix)
+{
+    TreeGeometry geo(GetParam());
+    Rng rng(GetParam() * 43 + 4);
+    for (int i = 0; i < 200; ++i) {
+        LeafLabel a = rng.uniformInt(geo.numLeaves());
+        LeafLabel b = rng.uniformInt(geo.numLeaves());
+        auto pa = geo.pathIndices(a);
+        auto pb = geo.pathIndices(b);
+        unsigned shared = 0;
+        while (shared < pa.size() && pa[shared] == pb[shared])
+            ++shared;
+        EXPECT_EQ(geo.overlap(a, b), shared);
+    }
+}
+
+TEST_P(GeometryProperty, CanResideMatchesPathMembership)
+{
+    TreeGeometry geo(GetParam());
+    Rng rng(GetParam() * 47 + 5);
+    for (int i = 0; i < 200; ++i) {
+        LeafLabel blk = rng.uniformInt(geo.numLeaves());
+        LeafLabel path = rng.uniformInt(geo.numLeaves());
+        for (unsigned d = 0; d <= geo.leafLevel(); ++d) {
+            bool expect =
+                geo.bucketAt(blk, d) == geo.bucketAt(path, d);
+            EXPECT_EQ(geo.canReside(blk, path, d), expect);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GeometryProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u,
+                                           16u, 24u, 27u));
+
+// --- bucket -----------------------------------------------------------------
+
+TEST(Bucket, AddAndTake)
+{
+    Bucket b(4);
+    EXPECT_TRUE(b.empty());
+    b.add(Block(1, 0));
+    b.add(Block(2, 1));
+    EXPECT_EQ(b.occupancy(), 2u);
+    EXPECT_FALSE(b.full());
+    auto blocks = b.takeAll();
+    EXPECT_EQ(blocks.size(), 2u);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(Bucket, FullAtZ)
+{
+    Bucket b(2);
+    b.add(Block(1, 0));
+    b.add(Block(2, 0));
+    EXPECT_TRUE(b.full());
+}
+
+TEST(BucketDeathTest, OverflowPanics)
+{
+    Bucket b(1);
+    b.add(Block(1, 0));
+    EXPECT_DEATH(b.add(Block(2, 0)), "overflow");
+}
+
+// --- tree store ---------------------------------------------------------------
+
+TEST(TreeStore, LazyMaterialization)
+{
+    // The paper's full-size tree: reading must not allocate.
+    TreeGeometry geo(24);
+    TreeStore store(geo, 4, 0);
+    EXPECT_EQ(store.materializedBuckets(), 0u);
+    Bucket b = store.readBucket(12345);
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(store.materializedBuckets(), 0u);
+    store.writeBucket(12345, b);
+    EXPECT_EQ(store.materializedBuckets(), 1u);
+}
+
+TEST(TreeStore, ReadBack)
+{
+    TreeGeometry geo(4);
+    TreeStore store(geo, 4, 8);
+    Bucket b(4);
+    b.add(Block(7, 3, {1, 2, 3, 4, 5, 6, 7, 8}));
+    store.writeBucket(9, b);
+    Bucket rb = store.readBucket(9);
+    ASSERT_EQ(rb.occupancy(), 1u);
+    EXPECT_EQ(rb.blocks()[0].addr, 7u);
+    EXPECT_EQ(rb.blocks()[0].leaf, 3u);
+    EXPECT_EQ(rb.blocks()[0].payload,
+              (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(TreeStore, EncryptedRoundTrip)
+{
+    TreeGeometry geo(4);
+    TreeStore store(geo, 4, 16, /*encrypt=*/true, 0xbeef);
+    Bucket b(4);
+    std::vector<std::uint8_t> payload(16, 0xCD);
+    b.add(Block(11, 2, payload));
+    b.add(Block(12, 3, payload));
+    store.writeBucket(5, b);
+    Bucket rb = store.readBucket(5);
+    ASSERT_EQ(rb.occupancy(), 2u);
+    EXPECT_EQ(rb.blocks()[0].payload, payload);
+}
+
+TEST(TreeStore, CiphertextHidesOccupancy)
+{
+    TreeGeometry geo(3);
+    TreeStore store(geo, 4, 8, /*encrypt=*/true);
+    Bucket empty(4);
+    Bucket fullb(4);
+    for (int i = 0; i < 4; ++i)
+        fullb.add(Block(100 + i, 1, std::vector<std::uint8_t>(8, 1)));
+    store.writeBucket(1, empty);
+    store.writeBucket(2, fullb);
+    EXPECT_EQ(store.rawCiphertext(1).size(),
+              store.rawCiphertext(2).size());
+}
+
+TEST(TreeStore, ProbabilisticRewrites)
+{
+    TreeGeometry geo(3);
+    TreeStore store(geo, 4, 8, /*encrypt=*/true);
+    Bucket b(4);
+    b.add(Block(5, 0, std::vector<std::uint8_t>(8, 9)));
+    store.writeBucket(3, b);
+    auto first = store.rawCiphertext(3);
+    store.writeBucket(3, b);
+    auto second = store.rawCiphertext(3);
+    EXPECT_NE(first, second); // same plaintext, fresh counter
+}
+
+TEST(TreeStore, CountsAccesses)
+{
+    TreeGeometry geo(3);
+    TreeStore store(geo, 4, 0);
+    store.readBucket(0);
+    store.readBucket(1);
+    store.writeBucket(0, Bucket(4));
+    EXPECT_EQ(store.readCount(), 2u);
+    EXPECT_EQ(store.writeCount(), 1u);
+}
+
+TEST(TreeStore, ResidentBlocks)
+{
+    TreeGeometry geo(3);
+    TreeStore store(geo, 4, 0);
+    Bucket b(4);
+    b.add(Block(1, 0));
+    b.add(Block(2, 1));
+    store.writeBucket(0, b);
+    Bucket c(4);
+    c.add(Block(3, 2));
+    store.writeBucket(4, c);
+    EXPECT_EQ(store.residentBlocks(), 3u);
+}
+
+} // anonymous namespace
+} // namespace fp::mem

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Unit tests for the util substrate: bit ops, RNG, statistics, the
+ * event queue, table rendering and CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/cli.hh"
+#include "util/event_queue.hh"
+#include "util/random.hh"
+#include "util/stat_tests.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace fp
+{
+namespace
+{
+
+// --- bitops -------------------------------------------------------------
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+    EXPECT_FALSE(isPow2((1ULL << 63) + 1));
+}
+
+TEST(Bitops, BitWidth)
+{
+    EXPECT_EQ(bitWidth(0), 0u);
+    EXPECT_EQ(bitWidth(1), 1u);
+    EXPECT_EQ(bitWidth(2), 2u);
+    EXPECT_EQ(bitWidth(255), 8u);
+    EXPECT_EQ(bitWidth(256), 9u);
+    EXPECT_EQ(bitWidth(~0ULL), 64u);
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(7), 2u);
+    EXPECT_EQ(log2Floor(8), 3u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(7), 3u);
+    EXPECT_EQ(log2Ceil(8), 3u);
+    EXPECT_EQ(log2Ceil(9), 4u);
+}
+
+TEST(Bitops, ExtractBits)
+{
+    EXPECT_EQ(extractBits(0xABCD, 4, 8), 0xBCULL);
+    EXPECT_EQ(extractBits(0xFF, 0, 4), 0xFULL);
+    EXPECT_EQ(extractBits(0xFF, 8, 4), 0ULL);
+    EXPECT_EQ(extractBits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(Bitops, RoundUpPow2)
+{
+    EXPECT_EQ(roundUpPow2(0, 8), 0ULL);
+    EXPECT_EQ(roundUpPow2(1, 8), 8ULL);
+    EXPECT_EQ(roundUpPow2(8, 8), 8ULL);
+    EXPECT_EQ(roundUpPow2(9, 8), 16ULL);
+}
+
+// --- types --------------------------------------------------------------
+
+TEST(Types, TimeConversions)
+{
+    EXPECT_EQ(periodFromMHz(2000.0), 500u); // 2 GHz -> 500 ps
+    EXPECT_EQ(periodFromMHz(800.0), 1250u); // DDR3-1600 clock
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+}
+
+// --- rng ----------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int buckets = 16;
+    constexpr int n = 160000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(buckets)];
+    // Chi-square with 15 dof; 99.9 percentile ~ 37.7.
+    double chi2 = 0.0;
+    double expect = static_cast<double>(n) / buckets;
+    for (int c : counts)
+        chi2 += (c - expect) * (c - expect) / expect;
+    EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformDoubleInUnit)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.uniformDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(10.0));
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 10.0, 0.5);
+}
+
+TEST(Rng, GeometricMinimumOne)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == child();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, UniformWhenAlphaZero)
+{
+    Rng rng(23);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 700);
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(29);
+    ZipfSampler z(1000, 1.0);
+    int head = 0, tail = 0;
+    for (int i = 0; i < 100000; ++i) {
+        auto s = z.sample(rng);
+        if (s < 10)
+            ++head;
+        if (s >= 990)
+            ++tail;
+    }
+    EXPECT_GT(head, 10 * tail);
+}
+
+// --- stats --------------------------------------------------------------
+
+TEST(Stats, AverageBasics)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(4, 10.0);
+    h.sample(5.0);   // bucket 0
+    h.sample(15.0);  // bucket 1
+    h.sample(39.9);  // bucket 3
+    h.sample(100.0); // overflow
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_NEAR(h.mean(), (5.0 + 15.0 + 39.9 + 100.0) / 4.0, 1e-9);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    Histogram h(100, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, StatGroupPrints)
+{
+    Counter c;
+    c.inc(5);
+    Average a;
+    a.sample(1.0);
+    StatGroup g("grp");
+    g.regCounter("count", c, "a counter");
+    g.regAverage("avg", a, "an average");
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_NE(os.str().find("grp.count"), std::string::npos);
+    EXPECT_NE(os.str().find("5"), std::string::npos);
+    EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+// --- event queue ----------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(10, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, Step)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunWhile)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(i, [&] { ++fired; });
+    eq.runWhile([&] { return fired < 3; });
+    EXPECT_EQ(fired, 3);
+}
+
+// --- table ----------------------------------------------------------------
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long_name", "2.50"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("long_name"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, Fmt)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+}
+
+// --- csv ------------------------------------------------------------------
+
+TEST(Table, CsvEscaping)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"comma,inside", "quote\"inside"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\n"
+                        "plain,1\n"
+                        "\"comma,inside\",\"quote\"\"inside\"\n");
+}
+
+// --- statistical helpers ----------------------------------------------------
+
+TEST(StatTests, ChiSquareUniformOnPerfectCounts)
+{
+    std::vector<std::uint64_t> counts(16, 100);
+    EXPECT_DOUBLE_EQ(chiSquareUniform(counts), 0.0);
+}
+
+TEST(StatTests, ChiSquareDetectsSkew)
+{
+    std::vector<std::uint64_t> counts(16, 100);
+    counts[0] = 400;
+    EXPECT_GT(chiSquareUniform(counts), chiSquareCritical999(15));
+}
+
+TEST(StatTests, ChiSquareAcceptsRngOutput)
+{
+    Rng rng(71);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.uniformInt(1 << 20));
+    EXPECT_LT(chiSquareTopBits(samples, 20, 4),
+              chiSquareCritical999(15));
+}
+
+TEST(StatTests, CriticalValuesMonotone)
+{
+    double prev = 0.0;
+    for (unsigned dof : {1u, 3u, 7u, 15u, 40u, 100u, 300u, 1000u}) {
+        double v = chiSquareCritical999(dof);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+    EXPECT_NEAR(chiSquareCritical999(15), 37.70, 0.01);
+}
+
+TEST(StatTests, SerialCorrelationNearZeroForRng)
+{
+    Rng rng(73);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.uniformDouble());
+    EXPECT_LT(std::abs(serialCorrelation(xs)), 0.03);
+}
+
+TEST(StatTests, SerialCorrelationDetectsTrend)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(static_cast<double>(i % 100));
+    EXPECT_GT(serialCorrelation(xs), 0.9);
+}
+
+// --- cli ------------------------------------------------------------------
+
+TEST(Cli, ParsesForms)
+{
+    // A bare boolean flag must be last or followed by another flag:
+    // `--flag word` is by design parsed as flag=word.
+    const char *argv[] = {"prog", "--a=1", "--b", "2", "pos1",
+                          "--flag"};
+    CliArgs args(6, const_cast<char **>(argv));
+    EXPECT_EQ(args.getInt("a", 0), 1);
+    EXPECT_EQ(args.getInt("b", 0), 2);
+    EXPECT_TRUE(args.getBool("flag"));
+    EXPECT_FALSE(args.getBool("missing"));
+    EXPECT_EQ(args.getString("missing", "d"), "d");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, Doubles)
+{
+    const char *argv[] = {"prog", "--x=2.5"};
+    CliArgs args(2, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 0.0), 2.5);
+}
+
+} // anonymous namespace
+} // namespace fp

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot the figure benches' --csv output.
+
+Each bench prints one or more CSV tables when run with --csv; pipe a
+bench into a file and point this script at it to get matplotlib
+figures mirroring the paper's:
+
+    ./build/bench/bench_fig12 --csv > fig12.csv
+    tools/plot_results.py fig12.csv -o fig12.png
+
+The script is deliberately generic: the first column is treated as
+the category axis, every following numeric column becomes a series.
+Files containing several blank-line-separated tables produce one
+subplot per table.
+"""
+
+import argparse
+import csv
+import io
+import sys
+
+
+def split_tables(text):
+    """Split concatenated CSV tables on blank lines."""
+    blocks, current = [], []
+    for line in text.splitlines():
+        if line.strip() == "":
+            if current:
+                blocks.append("\n".join(current))
+                current = []
+        else:
+            current.append(line)
+    if current:
+        blocks.append("\n".join(current))
+    return blocks
+
+
+def parse_table(block):
+    rows = list(csv.reader(io.StringIO(block)))
+    if len(rows) < 2:
+        return None
+    header, body = rows[0], rows[1:]
+    numeric_cols = []
+    for ci in range(1, len(header)):
+        try:
+            for row in body:
+                float(row[ci])
+            numeric_cols.append(ci)
+        except (ValueError, IndexError):
+            continue
+    if not numeric_cols:
+        return None
+    return {
+        "x": [row[0] for row in body],
+        "series": {
+            header[ci]: [float(row[ci]) for row in body]
+            for ci in numeric_cols
+        },
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_file", help="bench --csv output")
+    ap.add_argument("-o", "--output", default=None,
+                    help="output image (default: <input>.png)")
+    ap.add_argument("--kind", choices=["bar", "line"],
+                    default="bar")
+    ap.add_argument("--title", default=None)
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    with open(args.csv_file) as f:
+        text = f.read()
+
+    tables = [t for t in map(parse_table, split_tables(text)) if t]
+    if not tables:
+        sys.exit("no parsable CSV tables found")
+
+    fig, axes = plt.subplots(len(tables), 1,
+                             figsize=(9, 4 * len(tables)),
+                             squeeze=False)
+    for ax, table in zip(axes.flat, tables):
+        x = range(len(table["x"]))
+        n = len(table["series"])
+        width = 0.8 / max(n, 1)
+        for i, (name, ys) in enumerate(table["series"].items()):
+            if args.kind == "bar":
+                ax.bar([xi + i * width for xi in x], ys,
+                       width=width, label=name)
+            else:
+                ax.plot(list(x), ys, marker="o", label=name)
+        ax.set_xticks([xi + 0.4 - width / 2 for xi in x]
+                      if args.kind == "bar" else list(x))
+        ax.set_xticklabels(table["x"], rotation=30, ha="right")
+        ax.legend(fontsize=8)
+        ax.grid(axis="y", alpha=0.3)
+    if args.title:
+        fig.suptitle(args.title)
+    fig.tight_layout()
+
+    out = args.output or args.csv_file.rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
