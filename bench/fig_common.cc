@@ -26,6 +26,10 @@ parseOptions(const CliArgs &args)
     opt.csv = args.getBool("csv");
     csvMode = opt.csv;
 
+    sim::SimConfig obs_probe;
+    sim::applyObsFlags(obs_probe, args);
+    opt.obs = obs_probe.obs;
+
     std::string mixes = args.getString("mixes", "");
     if (mixes.empty()) {
         opt.mixes = workload::mixNames();
@@ -44,6 +48,7 @@ baseConfig(const BenchOptions &opt)
     sim::SimConfig cfg = sim::SimConfig::paperDefault();
     cfg.requestsPerCore = opt.requests;
     cfg.controller.oram.leafLevel = opt.leafLevel;
+    cfg.obs = opt.obs;
     return cfg;
 }
 

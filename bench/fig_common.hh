@@ -9,6 +9,10 @@
  *   --quick         shrink to a smoke-test sized run
  *   --csv           emit tables as CSV (for external plotting)
  *
+ * plus the observability flags of sim::applyObsFlags (--trace-out,
+ * --trace-level, --stats-out, --stats-interval), applied to every
+ * run the bench performs.
+ *
  * Output convention: each bench prints the paper's series as ASCII
  * tables, normalized the same way the figure is, and ends with a
  * "paper reports" note for EXPERIMENTS.md cross-checking.
@@ -34,6 +38,7 @@ struct BenchOptions
     unsigned leafLevel = 24;
     std::vector<std::string> mixes;
     bool csv = false;
+    sim::ObsConfig obs;
 };
 
 /** Parse the common flags. */

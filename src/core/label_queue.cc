@@ -105,11 +105,25 @@ LabelQueue::selectNext(LeafLabel current)
 
     fp_assert(pick < entries_.size(), "selectNext: nothing selected");
     LabelEntry out = entries_[pick];
+    bool aged = !out.dummy && out.age >= agingThreshold_;
     entries_.erase(entries_.begin() +
                    static_cast<std::ptrdiff_t>(pick));
     if (!out.dummy) {
         fp_assert(realCount_ > 0, "selectNext: real count underflow");
         --realCount_;
+    }
+
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->instant(
+            obs::Track::schedule, out.dummy ? "select_dummy" : "select_real",
+            {obs::TraceArg::num("label", out.label),
+             obs::TraceArg::num("overlap", geo_.overlap(current,
+                                                        out.label)),
+             obs::TraceArg::flag("aging_promoted", aged),
+             obs::TraceArg::num("queue_real", realCount_),
+             obs::TraceArg::num("queue_total", entries_.size())});
+        trc_->counter(obs::Track::queues, "label_queue", "real",
+                      static_cast<double>(realCount_));
     }
 
     selections_.inc();

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "mem/tree_geometry.hh"
+#include "obs/tracer.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 
@@ -112,12 +113,16 @@ class LabelQueue
         return agingPromotions_.value();
     }
 
+    /** Attach the event tracer (selection decision track). */
+    void setTracer(obs::Tracer *tracer) { trc_ = tracer; }
+
   private:
     mem::TreeGeometry geo_;
     std::size_t capacity_;
     unsigned agingThreshold_;
     DummySelectPolicy policy_;
     Rng rng_;
+    obs::Tracer *trc_ = nullptr;
 
     std::deque<LabelEntry> entries_;
     std::size_t realCount_ = 0;

@@ -115,6 +115,9 @@ MergingAwareCache::extract(BucketIndex idx)
     for (Line &line : set) {
         if (line.valid && line.tag == idx) {
             hits_.inc();
+            if (trc_ && trc_->on(obs::TraceLevel::access))
+                trc_->instant(obs::Track::cache, "mac_hit",
+                              {obs::TraceArg::num("bucket", idx)});
             line.valid = false;
             return std::move(line.bucket);
         }
@@ -143,6 +146,10 @@ MergingAwareCache::extractBlock(BucketIndex idx, BlockAddr addr)
         if (found) {
             dataHits_.inc();
             line.lastUse = ++useClock_;
+            if (trc_ && trc_->on(obs::TraceLevel::access))
+                trc_->instant(obs::Track::cache, "mac_data_hit",
+                              {obs::TraceArg::num("bucket", idx),
+                               obs::TraceArg::num("addr", addr)});
         }
         return found;
     }
@@ -181,6 +188,10 @@ MergingAwareCache::insert(BucketIndex idx, mem::Bucket bucket)
                 return a.lastUse < b.lastUse;
             });
         evictions_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access))
+            trc_->instant(obs::Track::cache, "mac_evict",
+                          {obs::TraceArg::num("victim", dest->tag),
+                           obs::TraceArg::num("for", idx)});
         victim = Victim{dest->tag, std::move(dest->bucket)};
     }
 

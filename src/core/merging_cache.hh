@@ -38,6 +38,7 @@
 
 #include "mem/bucket.hh"
 #include "mem/tree_geometry.hh"
+#include "obs/tracer.hh"
 #include "util/stats.hh"
 
 namespace fp::core
@@ -120,6 +121,9 @@ class MergingAwareCache
     std::uint64_t insertions() const { return insertions_.value(); }
     std::uint64_t evictions() const { return evictions_.value(); }
 
+    /** Attach the event tracer (cache hit/miss/eviction track). */
+    void setTracer(obs::Tracer *tracer) { trc_ = tracer; }
+
   private:
     struct Line
     {
@@ -141,6 +145,7 @@ class MergingAwareCache
     std::vector<std::uint64_t> levelBase_;
     std::vector<std::vector<Line>> sets_;
     std::uint64_t useClock_ = 0;
+    obs::Tracer *trc_ = nullptr;
 
     fp::Counter hits_;
     fp::Counter misses_;

@@ -46,8 +46,11 @@ OramController::OramController(const ControllerParams &params,
                   params.dummyPolicy, params.oram.seed ^ 0x1abe1),
       rng_(params.oram.seed ^ 0xf0c4),
       llcLatency_(256, 100.0), // 100 ns buckets
+      forkLevelHist_(geo_.numLevels() + 1, 1.0),
+      overlapHist_(geo_.numLevels() + 1, 1.0),
       stats_("oram_controller")
 {
+    mergeSkipsPerLevel_.assign(geo_.numLevels(), 0);
     if (params_.cachePolicy == CachePolicy::treetop) {
         treetop_ = std::make_unique<oram::TreetopCache>(
             geo_, params_.bucketBytes(), params_.cacheBudgetBytes);
@@ -96,11 +99,50 @@ OramController::OramController(const ControllerParams &params,
                       "bucket reads served by treetop/MAC");
     stats_.regCounter("mac_victim_writes", macVictimWrites_,
                       "MAC evictions written back to DRAM");
+    stats_.regHistogram("fork_level", forkLevelHist_,
+                        "read-phase start level per access");
+    stats_.regHistogram("overlap_level", overlapHist_,
+                        "scheduled refill stop level per access");
+    stats_.regCounter("merge_skipped_levels", mergeSkippedLevels_,
+                      "tree levels skipped by path merging");
+    stats_.regGauge(
+        "stash_depth", [this] { return double(stash_.size()); },
+        "blocks resident in the stash");
+    stats_.regGauge(
+        "label_queue_real",
+        [this] { return double(labelQueue_.realCount()); },
+        "real entries in the label queue");
+    stats_.regGauge(
+        "label_queue_total",
+        [this] { return double(labelQueue_.size()); },
+        "total entries in the label queue");
+    stats_.regGauge(
+        "addr_queue_depth",
+        [this] { return double(addrQueue_.size()); },
+        "entries in the address queue");
 
     setDebugTickSource(eq_.nowPtr());
 }
 
 OramController::~OramController() = default;
+
+void
+OramController::setTracer(obs::Tracer *tracer)
+{
+    trc_ = tracer;
+    labelQueue_.setTracer(tracer);
+    stash_.setTracer(tracer);
+    if (mac_)
+        mac_->setTracer(tracer);
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->nameTrack(obs::Track::controller, "controller");
+        trc_->nameTrack(obs::Track::schedule, "scheduler");
+        trc_->nameTrack(obs::Track::cache, "caches");
+        trc_->nameTrack(obs::Track::revealed, "revealed");
+        trc_->nameTrack(obs::Track::stash, "stash");
+        trc_->nameTrack(obs::Track::queues, "queues");
+    }
+}
 
 bool
 OramController::canAccept() const
@@ -205,6 +247,10 @@ OramController::pumpFrontend()
         if (params_.oram.stashShortcut) {
             if (mem::Block *blk = stash_.find(e->addr)) {
                 stashShortcuts_.inc();
+                if (trc_ && trc_->on(obs::TraceLevel::access))
+                    trc_->instant(
+                        obs::Track::cache, "stash_shortcut",
+                        {obs::TraceArg::num("addr", e->addr)});
                 std::vector<std::uint8_t> data = blk->payload;
                 if (e->op == oram::Op::write)
                     blk->payload = e->payload;
@@ -230,6 +276,13 @@ OramController::pumpFrontend()
         acc.llcId = e->id;
         acc.chainIndex =
             plb_ ? plb_->lookupChainStart(e->addr) : 0;
+        if (acc.chainIndex > 0 && trc_ &&
+            trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::cache, "plb_hit",
+                          {obs::TraceArg::num("addr", e->addr),
+                           obs::TraceArg::num("chain_start",
+                                              acc.chainIndex)});
+        }
         bool is_data = acc.chainIndex == params_.recursionDepth;
         if (is_data) {
             acc.addr = e->addr;
@@ -303,8 +356,17 @@ OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
     // command stream (paper Cases 1-3).
     bool crossing_free =
         static_cast<int>(k_in) - 1 <= nextWriteLevel_;
-    if (!crossing_free)
+    if (!crossing_free) {
+        // Case 2: the crossing bucket is already in the command
+        // stream, so the committed pending cannot change.
+        if (trc_ && trc_->on(obs::TraceLevel::access))
+            trc_->instant(
+                obs::Track::schedule, "replace_reject",
+                {obs::TraceArg::num("case", 2),
+                 obs::TraceArg::num("label", incoming.label),
+                 obs::TraceArg::num("overlap", k_in)});
         return false;
+    }
 
     if (pending_->dummy) {
         fp_dtrace(sched,
@@ -314,6 +376,14 @@ OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
         pending_ = incoming;
         writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
         dummyReplacements_.inc();
+        // Case 1: a not-yet-committed padding dummy gives its slot
+        // to the late-arriving real request.
+        if (trc_ && trc_->on(obs::TraceLevel::access))
+            trc_->instant(
+                obs::Track::schedule, "dummy_replace",
+                {obs::TraceArg::num("case", 1),
+                 obs::TraceArg::num("label", incoming.label),
+                 obs::TraceArg::num("overlap", k_in)});
         issueMoreWrites();
         return true;
     }
@@ -326,6 +396,15 @@ OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
         pending_ = incoming;
         writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
         pendingSwaps_.inc();
+        // Case 3: a real pending is displaced by a better-overlapping
+        // real newcomer and rejoins the pool.
+        if (trc_ && trc_->on(obs::TraceLevel::access))
+            trc_->instant(
+                obs::Track::schedule, "pending_swap",
+                {obs::TraceArg::num("case", 3),
+                 obs::TraceArg::num("label", incoming.label),
+                 obs::TraceArg::num("overlap", k_in),
+                 obs::TraceArg::num("old_overlap", k_pend)});
         enqueueAccess(old_pending);
         issueMoreWrites();
         return true;
@@ -425,6 +504,12 @@ OramController::startRead()
     readStartTick_ = eq_.now();
     readStartLevel_ =
         params_.enableMerging ? retainedLevels_ : 0;
+    forkLevelHist_.sample(static_cast<double>(readStartLevel_));
+    if (readStartLevel_ > 0) {
+        mergeSkippedLevels_.inc(readStartLevel_);
+        for (unsigned l = 0; l < readStartLevel_; ++l)
+            ++mergeSkipsPerLevel_[l];
+    }
     fp_dtrace(oram, "read  label=%llu start_level=%u%s",
               static_cast<unsigned long long>(current_->label),
               readStartLevel_, current_->dummy ? " (dummy)" : "");
@@ -516,6 +601,17 @@ OramController::finishRead()
     dramReadLen_.sample(static_cast<double>(dramBucketsThisRead_));
     readDoneTick_ = eq_.now();
 
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->complete(
+            obs::Track::controller,
+            readStartLevel_ > 0 ? "read_merged" : "read",
+            readStartTick_, readDoneTick_,
+            {obs::TraceArg::num("label", current_->label),
+             obs::TraceArg::num("start_level", readStartLevel_),
+             obs::TraceArg::flag("dummy", current_->dummy),
+             obs::TraceArg::num("dram_buckets", dramBucketsThisRead_)});
+    }
+
     ActiveAccess &acc = *current_;
     if (!acc.dummy) {
         if (acc.chainIndex < params_.recursionDepth) {
@@ -570,6 +666,10 @@ OramController::finishRead()
         // maybeStartBackend on the next arrival).
         fp_dtrace(oram, "park  label=%llu awaiting real work",
                   static_cast<unsigned long long>(current_->label));
+        if (trc_ && trc_->on(obs::TraceLevel::access))
+            trc_->instant(
+                obs::Track::controller, "park",
+                {obs::TraceArg::num("label", current_->label)});
         phase_ = Phase::writeParked;
         return;
     }
@@ -607,6 +707,7 @@ OramController::startWrite()
         pending_.reset();
         writeStopLevel_ = 0;
     }
+    overlapHist_.sample(static_cast<double>(writeStopLevel_));
 
     fp_dtrace(oram, "write label=%llu stop_level=%u",
               static_cast<unsigned long long>(current_->label),
@@ -719,6 +820,22 @@ OramController::finishWrite()
         revealTrace_.push_back({current_->label, readStartLevel_,
                                 writeStopLevel_, current_->dummy,
                                 readStartTick_});
+    }
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->complete(
+            obs::Track::controller, "refill", writeStartTick_,
+            eq_.now(),
+            {obs::TraceArg::num("label", current_->label),
+             obs::TraceArg::num("stop_level", writeStopLevel_)});
+        // The revealed track carries exactly what an adversary on
+        // the memory bus sees: one slice per access, shaped by the
+        // revealTrace() fields (tests/test_obs.cc checks agreement).
+        trc_->complete(
+            obs::Track::revealed, "access", readStartTick_, eq_.now(),
+            {obs::TraceArg::num("label", current_->label),
+             obs::TraceArg::num("read_start", readStartLevel_),
+             obs::TraceArg::num("write_stop", writeStopLevel_),
+             obs::TraceArg::flag("dummy", current_->dummy)});
     }
 
     stash_.recordOccupancy();

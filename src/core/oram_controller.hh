@@ -49,6 +49,7 @@
 #include "core/plb.hh"
 #include "dram/dram_system.hh"
 #include "mem/tree_store.hh"
+#include "obs/tracer.hh"
 #include "oram/oram_params.hh"
 #include "oram/integrity.hh"
 #include "oram/position_map.hh"
@@ -228,6 +229,20 @@ class OramController
     {
         return onChipBucketReads_.value();
     }
+    /** Total tree levels skipped by path merging (summed forks). */
+    std::uint64_t mergedLevelsSkipped() const
+    {
+        return mergeSkippedLevels_.value();
+    }
+    /** Accesses that skipped level l, indexed by l (merge benefit). */
+    const std::vector<std::uint64_t> &mergeSkipsPerLevel() const
+    {
+        return mergeSkipsPerLevel_;
+    }
+    /** Distribution of read-phase fork levels. */
+    const fp::Histogram &forkLevelHist() const { return forkLevelHist_; }
+    /** Distribution of scheduled overlap (refill stop levels). */
+    const fp::Histogram &overlapHist() const { return overlapHist_; }
 
     // --- component access (tests, examples) ------------------------------
     const ControllerParams &params() const { return params_; }
@@ -253,6 +268,13 @@ class OramController
     }
 
     fp::StatGroup &stats() { return stats_; }
+
+    /**
+     * Attach the event tracer; fans out to the label queue, stash,
+     * and MAC, and names every track. The revealed-access track the
+     * tracer carries mirrors revealTrace() event for event.
+     */
+    void setTracer(obs::Tracer *tracer);
 
   private:
     /** One ORAM access being processed or scheduled next. */
@@ -380,8 +402,14 @@ class OramController
     bool revealTraceEnabled_ = false;
     std::vector<RevealedAccess> revealTrace_;
 
+    obs::Tracer *trc_ = nullptr;
+
     // Stats.
     fp::Histogram llcLatency_;
+    fp::Histogram forkLevelHist_;
+    fp::Histogram overlapHist_;
+    fp::Counter mergeSkippedLevels_;
+    std::vector<std::uint64_t> mergeSkipsPerLevel_;
     fp::Average readLen_;
     fp::Average dramReadLen_;
     fp::Average dramService_;

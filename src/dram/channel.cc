@@ -22,6 +22,31 @@ Channel::Channel(unsigned id, const DramParams &params, EventQueue &eq)
     stats_.regCounter("write_bursts", writeBursts_, "64B write bursts");
     stats_.regHistogram("latency_ns", latency_,
                         "transaction latency (ns)");
+    stats_.regGauge(
+        "queue_depth", [this] { return double(queue_.size()); },
+        "transactions waiting in the channel queue");
+    stats_.regGauge(
+        "row_hit_rate",
+        [this] {
+            auto total = rowHits_.value() + rowMisses_.value();
+            return total ? static_cast<double>(rowHits_.value()) /
+                               static_cast<double>(total)
+                         : 0.0;
+        },
+        "cumulative row-buffer hit rate");
+}
+
+void
+Channel::setTracer(obs::Tracer *tracer)
+{
+    trc_ = tracer;
+    if (trc_ && trc_->on(obs::TraceLevel::full)) {
+        std::string name = "dram.ch" + std::to_string(id_);
+        trc_->nameTrack(
+            static_cast<obs::Track>(
+                static_cast<unsigned>(obs::Track::dram0) + id_),
+            name.c_str());
+    }
 }
 
 void
@@ -140,6 +165,17 @@ Channel::kick()
     dataBusFreeAt_ = last_burst_end;
     lastWasWrite_ = tx.isWrite;
     issuing_ = true;
+
+    if (trc_ && trc_->on(obs::TraceLevel::full)) {
+        trc_->complete(
+            static_cast<obs::Track>(
+                static_cast<unsigned>(obs::Track::dram0) + id_),
+            tx.isWrite ? "WR" : "RD", now, last_burst_end,
+            {obs::TraceArg::num("bank", tx.bank),
+             obs::TraceArg::num("row", tx.row),
+             obs::TraceArg::flag("row_hit", plan.rowHit),
+             obs::TraceArg::num("bursts", tx.bursts)});
+    }
 
     Tick enqueued = tx.enqueued;
     auto on_complete = std::move(tx.onComplete);

@@ -17,6 +17,7 @@
 #include "dram/address_mapping.hh"
 #include "dram/bank.hh"
 #include "dram/dram_params.hh"
+#include "obs/tracer.hh"
 #include "util/event_queue.hh"
 #include "util/stats.hh"
 
@@ -55,6 +56,9 @@ class Channel
     fp::StatGroup &stats() { return stats_; }
     void resetStats();
 
+    /** Attach the event tracer (per-command track, level `full`). */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     /** Try to issue the next transaction if the scheduler is free. */
     void kick();
@@ -69,6 +73,7 @@ class Channel
     unsigned id_;
     DramParams p_;
     EventQueue &eq_;
+    obs::Tracer *trc_ = nullptr;
 
     std::vector<Bank> banks_;
     std::deque<Transaction> queue_;

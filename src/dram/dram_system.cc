@@ -127,4 +127,11 @@ DramSystem::resetStats()
         ch->resetStats();
 }
 
+void
+DramSystem::setTracer(obs::Tracer *tracer)
+{
+    for (auto &ch : channels_)
+        ch->setTracer(tracer);
+}
+
 } // namespace fp::dram

@@ -79,6 +79,9 @@ class DramSystem
 
     void resetStats();
 
+    /** Attach the event tracer; fans out to every channel. */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     DramParams params_;
     EventQueue &eq_;

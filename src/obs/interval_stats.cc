@@ -1,0 +1,69 @@
+#include "obs/interval_stats.hh"
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace fp::obs
+{
+
+IntervalStats::IntervalStats(const std::string &path, Tick interval)
+    : interval_(interval)
+{
+    fp_assert(interval_ > 0, "IntervalStats: zero interval");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fp_fatal("IntervalStats: cannot open '%s' for writing",
+                 path.c_str());
+}
+
+IntervalStats::~IntervalStats()
+{
+    close();
+}
+
+void
+IntervalStats::start(EventQueue &eq, std::function<bool()> keep_going)
+{
+    keepGoing_ = std::move(keep_going);
+    scheduleNext(eq);
+}
+
+void
+IntervalStats::scheduleNext(EventQueue &eq)
+{
+    eq.scheduleIn(interval_, [this, &eq] {
+        if (closed_ || (keepGoing_ && !keepGoing_()))
+            return;
+        sample(eq.now());
+        scheduleNext(eq);
+    });
+}
+
+void
+IntervalStats::sample(Tick now)
+{
+    if (closed_)
+        return;
+    JsonWriter w;
+    w.beginObject().field("tick", Tick{now});
+    StatRegistry::instance().forEach(
+        [&w](const StatGroup &g) { g.writeJsonFields(w); });
+    w.endObject();
+    std::string line = w.str();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), file_);
+    ++samples_;
+}
+
+void
+IntervalStats::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+} // namespace fp::obs

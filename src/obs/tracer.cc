@@ -1,0 +1,213 @@
+#include "obs/tracer.hh"
+
+#include <cinttypes>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fp::obs
+{
+
+Tracer::Tracer(const std::string &path, TraceLevel level,
+               const Tick *now, std::size_t buffer_bytes)
+    : level_(level), now_(now), flushAt_(buffer_bytes)
+{
+    fp_assert(now_ != nullptr, "Tracer: null clock");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fp_fatal("Tracer: cannot open '%s' for writing",
+                 path.c_str());
+    buf_.reserve(flushAt_ + 4096);
+    append("{\"traceEvents\":[");
+}
+
+Tracer::~Tracer()
+{
+    finish();
+}
+
+void
+Tracer::append(const char *s)
+{
+    buf_ += s;
+}
+
+void
+Tracer::appendEscaped(const char *s)
+{
+    buf_ += JsonWriter::escape(s);
+}
+
+void
+Tracer::appendTs(const char *key, Tick t)
+{
+    // Trace timestamps are microseconds; 1 tick = 1 ps, so six
+    // fractional digits preserve full tick resolution.
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), ",\"%s\":%" PRIu64 ".%06u", key,
+                  t / 1'000'000,
+                  static_cast<unsigned>(t % 1'000'000));
+    buf_ += tmp;
+}
+
+void
+Tracer::begin(Track track, const char *name, const char *ph)
+{
+    if (events_ > 0)
+        buf_ += ',';
+    ++events_;
+    buf_ += "{\"name\":\"";
+    appendEscaped(name);
+    buf_ += "\",\"ph\":\"";
+    buf_ += ph;
+    buf_ += '"';
+    appendTs("ts", *now_);
+    char tmp[48];
+    std::snprintf(tmp, sizeof(tmp), ",\"pid\":1,\"tid\":%u",
+                  static_cast<unsigned>(track));
+    buf_ += tmp;
+}
+
+void
+Tracer::beginArgs()
+{
+    buf_ += ",\"args\":{";
+}
+
+void
+Tracer::appendArg(const TraceArg &a)
+{
+    buf_ += '"';
+    appendEscaped(a.key);
+    buf_ += "\":";
+    char tmp[48];
+    switch (a.kind) {
+      case TraceArg::Kind::u64:
+        std::snprintf(tmp, sizeof(tmp), "%" PRIu64, a.u);
+        buf_ += tmp;
+        break;
+      case TraceArg::Kind::f64:
+        std::snprintf(tmp, sizeof(tmp), "%.12g", a.d);
+        buf_ += tmp;
+        break;
+      case TraceArg::Kind::str:
+        buf_ += '"';
+        appendEscaped(a.s);
+        buf_ += '"';
+        break;
+      case TraceArg::Kind::boolean:
+        buf_ += a.b ? "true" : "false";
+        break;
+    }
+}
+
+void
+Tracer::end()
+{
+    buf_ += '}';
+    maybeFlush();
+}
+
+void
+Tracer::maybeFlush()
+{
+    if (buf_.size() < flushAt_)
+        return;
+    std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    buf_.clear();
+}
+
+void
+Tracer::nameTrack(Track track, const char *name)
+{
+    if (finished_ || level_ == TraceLevel::off)
+        return;
+    begin(track, "thread_name", "M");
+    beginArgs();
+    appendArg(TraceArg::str("name", name));
+    buf_ += '}';
+    end();
+}
+
+void
+Tracer::complete(Track track, const char *name, Tick start, Tick end_tick,
+                 std::initializer_list<TraceArg> args)
+{
+    if (finished_ || level_ == TraceLevel::off)
+        return;
+    fp_assert(end_tick >= start, "Tracer: negative slice duration");
+    if (events_ > 0)
+        buf_ += ',';
+    ++events_;
+    buf_ += "{\"name\":\"";
+    appendEscaped(name);
+    buf_ += "\",\"ph\":\"X\"";
+    appendTs("ts", start);
+    appendTs("dur", end_tick - start);
+    char tmp[48];
+    std::snprintf(tmp, sizeof(tmp), ",\"pid\":1,\"tid\":%u",
+                  static_cast<unsigned>(track));
+    buf_ += tmp;
+    if (args.size() > 0) {
+        beginArgs();
+        bool first = true;
+        for (const TraceArg &a : args) {
+            if (!first)
+                buf_ += ',';
+            first = false;
+            appendArg(a);
+        }
+        buf_ += '}';
+    }
+    end();
+}
+
+void
+Tracer::instant(Track track, const char *name,
+                std::initializer_list<TraceArg> args)
+{
+    if (finished_ || level_ == TraceLevel::off)
+        return;
+    begin(track, name, "i");
+    buf_ += ",\"s\":\"t\"";
+    if (args.size() > 0) {
+        beginArgs();
+        bool first = true;
+        for (const TraceArg &a : args) {
+            if (!first)
+                buf_ += ',';
+            first = false;
+            appendArg(a);
+        }
+        buf_ += '}';
+    }
+    end();
+}
+
+void
+Tracer::counter(Track track, const char *name, const char *series,
+                double value)
+{
+    if (finished_ || level_ == TraceLevel::off)
+        return;
+    begin(track, name, "C");
+    beginArgs();
+    appendArg(TraceArg::real(series, value));
+    buf_ += '}';
+    end();
+}
+
+void
+Tracer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    buf_ += "],\"displayTimeUnit\":\"ns\"}\n";
+    std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    buf_.clear();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+} // namespace fp::obs

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Event tracer emitting Chrome trace-event / Perfetto-compatible JSON
+ * (the "JSON object format": {"traceEvents": [...]}). Load the output
+ * in https://ui.perfetto.dev or chrome://tracing.
+ *
+ * Components carry a `Tracer *` (null when tracing is off) and guard
+ * every emission with `if (trc_ && trc_->on(level))` — one
+ * well-predicted branch on the hot path, nothing else. Events are
+ * appended to a bounded in-memory buffer that is flushed to the
+ * output file whenever it fills, so memory stays flat regardless of
+ * run length.
+ *
+ * Tracks: the whole simulator is one trace "process"; each component
+ * stream is a named "thread" (track). Timestamps are the simulated
+ * clock (1 tick = 1 ps) expressed in the trace format's microseconds,
+ * so a run's trace depends only on seed + config — byte-identical
+ * across repeated runs, which tests/test_obs.cc enforces.
+ */
+
+#ifndef FP_OBS_TRACER_HH
+#define FP_OBS_TRACER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/types.hh"
+
+namespace fp::obs
+{
+
+/** How much to record; each level includes the ones below. */
+enum class TraceLevel : unsigned
+{
+    off = 0,
+    /** Controller phases, scheduling decisions, counter tracks. */
+    access = 1,
+    /** Plus per-channel DRAM command timing. */
+    full = 2,
+};
+
+/** Fixed track ids (trace "threads"). */
+enum class Track : unsigned
+{
+    controller = 1, //!< access phase slices (read/refill/park)
+    schedule = 2,   //!< label-queue decisions, dummy replacement
+    cache = 3,      //!< MAC / treetop / PLB / stash-shortcut hits
+    revealed = 4,   //!< adversary-visible access shapes
+    stash = 5,      //!< stash occupancy counter track
+    queues = 6,     //!< label/address queue occupancy counters
+    /** Per-channel DRAM command tracks: dram0 + channel id. */
+    dram0 = 16,
+};
+
+/** One typed key/value for an event's args object. */
+struct TraceArg
+{
+    enum class Kind { u64, f64, str, boolean };
+
+    const char *key;
+    Kind kind;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    const char *s = nullptr;
+    bool b = false;
+
+    static TraceArg
+    num(const char *key, std::uint64_t v)
+    {
+        TraceArg a{key, Kind::u64};
+        a.u = v;
+        return a;
+    }
+    static TraceArg
+    real(const char *key, double v)
+    {
+        TraceArg a{key, Kind::f64};
+        a.d = v;
+        return a;
+    }
+    static TraceArg
+    str(const char *key, const char *v)
+    {
+        TraceArg a{key, Kind::str};
+        a.s = v;
+        return a;
+    }
+    static TraceArg
+    flag(const char *key, bool v)
+    {
+        TraceArg a{key, Kind::boolean};
+        a.b = v;
+        return a;
+    }
+};
+
+class Tracer
+{
+  public:
+    /**
+     * @param path         Output file (created/truncated).
+     * @param level        Recording level (off still opens the file
+     *                     and produces an empty, valid trace).
+     * @param now          The simulation clock (EventQueue::nowPtr()).
+     * @param buffer_bytes Flush threshold for the staging buffer.
+     */
+    Tracer(const std::string &path, TraceLevel level, const Tick *now,
+           std::size_t buffer_bytes = 256 * 1024);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** True iff events at @p lvl are recorded. */
+    bool on(TraceLevel lvl) const { return level_ >= lvl; }
+
+    TraceLevel level() const { return level_; }
+
+    /** Name a track (emits a thread_name metadata event). */
+    void nameTrack(Track track, const char *name);
+
+    /** Duration slice [start, end] ("ph":"X"). */
+    void complete(Track track, const char *name, Tick start, Tick end,
+                  std::initializer_list<TraceArg> args = {});
+
+    /** Zero-duration marker at the current tick ("ph":"i"). */
+    void instant(Track track, const char *name,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Counter sample at the current tick ("ph":"C"). A track's
+     *  series name is @p name; one value per call. */
+    void counter(Track track, const char *name, const char *series,
+                 double value);
+
+    /** Flush buffered events and close the JSON document. Safe to
+     *  call more than once; further events are dropped. */
+    void finish();
+
+    std::uint64_t eventsEmitted() const { return events_; }
+
+  private:
+    void begin(Track track, const char *name, const char *ph);
+    void beginArgs();
+    void appendArg(const TraceArg &a);
+    void end();
+    void append(const char *s);
+    void appendEscaped(const char *s);
+    void appendTs(const char *key, Tick t);
+    void maybeFlush();
+
+    TraceLevel level_;
+    const Tick *now_;
+    std::FILE *file_ = nullptr;
+    std::string buf_;
+    std::size_t flushAt_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace fp::obs
+
+#endif // FP_OBS_TRACER_HH

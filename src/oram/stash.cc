@@ -82,6 +82,14 @@ Stash::recordOccupancy()
     occupancyHist_.sample(static_cast<double>(blocks_.size()));
     if (overCapacity())
         overflows_.inc();
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->counter(obs::Track::stash, "stash_occupancy", "blocks",
+                      static_cast<double>(blocks_.size()));
+        if (overCapacity())
+            trc_->instant(obs::Track::stash, "stash_overflow",
+                          {obs::TraceArg::num("blocks",
+                                              blocks_.size())});
+    }
 }
 
 } // namespace fp::oram

@@ -22,6 +22,7 @@
 
 #include "mem/block.hh"
 #include "mem/tree_geometry.hh"
+#include "obs/tracer.hh"
 #include "util/stats.hh"
 
 namespace fp::oram
@@ -73,6 +74,9 @@ class Stash
     /** Record current occupancy (call once per ORAM access). */
     void recordOccupancy();
 
+    /** Attach the event tracer (occupancy counter track). */
+    void setTracer(obs::Tracer *tracer) { trc_ = tracer; }
+
     const fp::Histogram &occupancy() const { return occupancyHist_; }
     std::uint64_t overflowEvents() const { return overflows_.value(); }
     std::size_t peakSize() const { return peak_; }
@@ -89,6 +93,7 @@ class Stash
     std::size_t capacity_;
     std::unordered_map<BlockAddr, mem::Block> blocks_;
     std::size_t peak_ = 0;
+    obs::Tracer *trc_ = nullptr;
 
     fp::Histogram occupancyHist_;
     fp::Counter overflows_;

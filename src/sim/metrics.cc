@@ -56,9 +56,12 @@ toJson(const RunResult &r)
         .field("avg_dram_service_ns", r.avgDramServiceNs)
         .field("real_accesses", r.realAccesses)
         .field("dummy_accesses", r.dummyAccesses)
+        .field("total_accesses", r.totalAccesses())
         .field("dummy_replacements", r.dummyReplacements)
+        .field("pending_swaps", r.pendingSwaps)
         .field("stash_shortcuts", r.stashShortcuts)
         .field("llc_requests", r.llcRequests)
+        .field("merged_levels_skipped", r.mergedLevelsSkipped)
         .field("row_hits", r.rowHits)
         .field("row_misses", r.rowMisses)
         .field("row_hit_rate", r.rowHitRate())
@@ -68,7 +71,11 @@ toJson(const RunResult &r)
         .field("stash_overflows", r.stashOverflows)
         .field("cache_hits", r.cacheHits)
         .field("cache_misses", r.cacheMisses)
-        .endObject();
+        .field("cache_hit_rate", r.cacheHitRate());
+    w.key("merge_skips_per_level").beginArray();
+    for (std::uint64_t n : r.mergeSkipsPerLevel)
+        w.value(n);
+    w.endArray().endObject();
     return w.str();
 }
 

@@ -50,8 +50,14 @@ struct RunResult
     std::uint64_t realAccesses = 0;
     std::uint64_t dummyAccesses = 0;
     std::uint64_t dummyReplacements = 0;
+    std::uint64_t pendingSwaps = 0;
     std::uint64_t stashShortcuts = 0;
     std::uint64_t llcRequests = 0;
+
+    // Path merging.
+    std::uint64_t mergedLevelsSkipped = 0;
+    /** Accesses that skipped level l, indexed by l. */
+    std::vector<std::uint64_t> mergeSkipsPerLevel;
 
     // DRAM behaviour.
     std::uint64_t rowHits = 0;
@@ -83,6 +89,14 @@ struct RunResult
     {
         auto total = rowHits + rowMisses;
         return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double cacheHitRate() const
+    {
+        auto total = cacheHits + cacheMisses;
+        return total ? static_cast<double>(cacheHits) /
                            static_cast<double>(total)
                      : 0.0;
     }

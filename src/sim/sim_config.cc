@@ -1,5 +1,8 @@
 #include "sim/sim_config.hh"
 
+#include "util/cli.hh"
+#include "util/logging.hh"
+
 namespace fp::sim
 {
 
@@ -19,6 +22,31 @@ SimConfig::paperDefault()
 
     cfg.dram = dram::DramParams::ddr3_1600(2);
     return cfg;
+}
+
+void
+applyObsFlags(SimConfig &cfg, const CliArgs &args)
+{
+    cfg.obs.traceOut = args.getString("trace-out", cfg.obs.traceOut);
+    cfg.obs.statsOut = args.getString("stats-out", cfg.obs.statsOut);
+    cfg.obs.statsIntervalTicks = static_cast<Tick>(args.getInt(
+        "stats-interval",
+        static_cast<std::int64_t>(cfg.obs.statsIntervalTicks)));
+    fp_assert(cfg.obs.statsIntervalTicks > 0,
+              "--stats-interval must be positive");
+
+    if (args.has("trace-level")) {
+        std::string lvl = args.getString("trace-level", "access");
+        if (lvl == "off" || lvl == "0")
+            cfg.obs.traceLevel = obs::TraceLevel::off;
+        else if (lvl == "access" || lvl == "1")
+            cfg.obs.traceLevel = obs::TraceLevel::access;
+        else if (lvl == "full" || lvl == "2")
+            cfg.obs.traceLevel = obs::TraceLevel::full;
+        else
+            fp_fatal("unknown --trace-level '%s' (off|access|full)",
+                     lvl.c_str());
+    }
 }
 
 SimConfig

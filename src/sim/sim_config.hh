@@ -9,12 +9,38 @@
 #define FP_SIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "core/oram_controller.hh"
 #include "dram/dram_params.hh"
+#include "obs/tracer.hh"
+
+namespace fp
+{
+class CliArgs;
+} // namespace fp
 
 namespace fp::sim
 {
+
+/**
+ * Observability outputs. Both are off (empty paths) by default; when
+ * off, no tracer/sampler object exists at all, so instrumented hot
+ * paths only pay a null-pointer test.
+ */
+struct ObsConfig
+{
+    /** Chrome-trace JSON output path; empty disables tracing. */
+    std::string traceOut;
+    obs::TraceLevel traceLevel = obs::TraceLevel::access;
+    /** Interval-stats JSON-lines path; empty disables sampling. */
+    std::string statsOut;
+    /** Snapshot period in ticks (100 us simulated by default). */
+    Tick statsIntervalTicks = 100'000'000;
+
+    bool traceEnabled() const { return !traceOut.empty(); }
+    bool statsEnabled() const { return !statsOut.empty(); }
+};
 
 struct SimConfig
 {
@@ -48,6 +74,9 @@ struct SimConfig
 
     std::uint64_t seed = 1;
 
+    // --- observability ------------------------------------------------------
+    ObsConfig obs;
+
     /**
      * Table 1 defaults: 4-core 2 GHz OoO, 4 GB data ORAM (L=24,
      * Z=4, 64 B blocks), DDR3-1600 x2 channels, subtree layout.
@@ -56,6 +85,18 @@ struct SimConfig
      */
     static SimConfig paperDefault();
 };
+
+/**
+ * Apply the shared observability flags to @p cfg:
+ *
+ *   --trace-out=PATH     write a Chrome-trace JSON file
+ *   --trace-level=LVL    "access" (default) or "full"; also 0/1/2
+ *   --stats-out=PATH     write interval-stats JSON lines
+ *   --stats-interval=T   sampling period in ticks (1 tick = 1 ps)
+ *
+ * Unrecognised level names are fatal; absent flags leave defaults.
+ */
+void applyObsFlags(SimConfig &cfg, const CliArgs &args);
 
 /** Controller variants used across the figures. */
 SimConfig withTraditional(SimConfig cfg);

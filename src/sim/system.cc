@@ -85,7 +85,18 @@ System::System(const SimConfig &cfg,
               "System: %zu profiles for %u cores", profiles.size(),
               cfg.cores);
 
+    if (cfg_.obs.traceEnabled()) {
+        tracer_ = std::make_unique<obs::Tracer>(
+            cfg_.obs.traceOut, cfg_.obs.traceLevel, eq_.nowPtr());
+    }
+    if (cfg_.obs.statsEnabled()) {
+        intervalStats_ = std::make_unique<obs::IntervalStats>(
+            cfg_.obs.statsOut, cfg_.obs.statsIntervalTicks);
+    }
+
     dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
+    if (tracer_)
+        dram_->setTracer(tracer_.get());
 
     if (cfg_.insecure) {
         sink_ = std::make_unique<InsecureSink>(
@@ -93,6 +104,8 @@ System::System(const SimConfig &cfg,
     } else {
         ctrl_ = std::make_unique<core::OramController>(
             cfg_.controller, eq_, *dram_);
+        if (tracer_)
+            ctrl_->setTracer(tracer_.get());
         sink_ = std::make_unique<OramSink>(*ctrl_);
     }
 
@@ -143,6 +156,14 @@ System::run(Tick limit)
     for (auto &core : cores_)
         core->start();
 
+    if (intervalStats_) {
+        // The sampling chain is passive (reads registered stats) and
+        // ends itself once the cores finish, so it neither perturbs
+        // results nor trips the deadlock assert below.
+        intervalStats_->sample(eq_.now());
+        intervalStats_->start(eq_, [this] { return !allDone(); });
+    }
+
     while (!allDone()) {
         fp_assert(eq_.now() <= limit,
                   "simulation exceeded tick limit");
@@ -166,6 +187,9 @@ System::run(Tick limit)
         r.realAccesses = ctrl_->realAccesses();
         r.dummyAccesses = ctrl_->dummyAccessesRun();
         r.dummyReplacements = ctrl_->dummyReplacements();
+        r.pendingSwaps = ctrl_->pendingSwaps();
+        r.mergedLevelsSkipped = ctrl_->mergedLevelsSkipped();
+        r.mergeSkipsPerLevel = ctrl_->mergeSkipsPerLevel();
         r.stashShortcuts = ctrl_->stashShortcuts();
         r.stashPeak = ctrl_->stash().peakSize();
         r.stashOverflows = ctrl_->stash().overflowEvents();
@@ -191,6 +215,14 @@ System::run(Tick limit)
     r.rowHits = dram_->rowHits();
     r.rowMisses = dram_->rowMisses();
     r.dramEnergyNj = dram_->energy(eq_.now()).total();
+
+    if (intervalStats_) {
+        // Final snapshot at the end-of-run tick, then seal the file.
+        intervalStats_->sample(eq_.now());
+        intervalStats_->close();
+    }
+    if (tracer_)
+        tracer_->finish();
     return r;
 }
 

@@ -13,6 +13,8 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_system.hh"
+#include "obs/interval_stats.hh"
+#include "obs/tracer.hh"
 #include "sim/metrics.hh"
 #include "sim/sim_config.hh"
 #include "util/event_queue.hh"
@@ -46,6 +48,10 @@ class System
     dram::DramSystem &dram() { return *dram_; }
     /** Null in insecure mode. */
     core::OramController *controller() { return ctrl_.get(); }
+    /** Null unless cfg.obs.traceOut was set. */
+    obs::Tracer *tracer() { return tracer_.get(); }
+    /** Null unless cfg.obs.statsOut was set. */
+    obs::IntervalStats *intervalStats() { return intervalStats_.get(); }
     const std::vector<std::unique_ptr<workload::CoreModel>> &
     cores() const
     {
@@ -60,6 +66,8 @@ class System
 
     SimConfig cfg_;
     EventQueue eq_;
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::IntervalStats> intervalStats_;
     std::unique_ptr<dram::DramSystem> dram_;
     std::unique_ptr<core::OramController> ctrl_;
     std::unique_ptr<workload::MemorySink> sink_;

@@ -1,15 +1,19 @@
 /**
  * @file
- * Minimal JSON document writer, enough to export run results and
- * statistics for external plotting. Writer-only by design: the
- * simulator never consumes JSON, so no parser is shipped.
+ * Minimal JSON support: a streaming document writer for exporting run
+ * results, traces and statistics, plus a small recursive-descent
+ * parser (JsonValue) used by round-trip tests and trace validation.
+ * Neither sits on a simulation hot path.
  */
 
 #ifndef FP_UTIL_JSON_HH
 #define FP_UTIL_JSON_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fp
@@ -62,6 +66,61 @@ class JsonWriter
     std::vector<bool> needComma_;
     bool pendingKey_ = false;
     int depth_ = 0;
+};
+
+/**
+ * A parsed JSON document node. Numbers are held as doubles (every
+ * quantity the simulator exports fits a double exactly); object keys
+ * keep their source order so parse -> serialise round-trips stay
+ * byte-comparable.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::null; }
+    bool isObject() const { return type_ == Type::object; }
+    bool isArray() const { return type_ == Type::array; }
+    bool isNumber() const { return type_ == Type::number; }
+    bool isString() const { return type_ == Type::string; }
+    bool isBool() const { return type_ == Type::boolean; }
+
+    /** Typed accessors; panic on type mismatch (test/tool code). */
+    bool asBool() const;
+    double asNumber() const;
+    std::uint64_t asUint64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+    /** Object member access; panics when absent. */
+    const JsonValue &at(const std::string &key) const;
+    /** Array element access; panics when out of range. */
+    const JsonValue &at(std::size_t index) const;
+    std::size_t size() const;
+
+    /**
+     * Parse a complete JSON document (trailing whitespace allowed,
+     * trailing garbage is an error). Malformed input panics with the
+     * byte offset — callers are tests and offline tools, for which
+     * loud failure is the right behaviour.
+     */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    Type type_ = Type::null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+
+    friend class JsonParser;
 };
 
 } // namespace fp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace fp
@@ -46,7 +47,9 @@ Histogram::sample(double v)
 {
     avg_.sample(v);
     if (v < 0.0) {
-        ++buckets_.front();
+        // Out-of-domain sample: tracked separately so bucket 0 keeps
+        // meaning "in [0, width)".
+        ++underflow_;
         return;
     }
     auto idx = static_cast<std::size_t>(v / bucketWidth_);
@@ -63,9 +66,16 @@ Histogram::percentile(double frac) const
     std::uint64_t total = avg_.count();
     if (total == 0)
         return 0.0;
+    if (frac >= 1.0)
+        return avg_.max();
     auto target = static_cast<std::uint64_t>(frac *
                                              static_cast<double>(total));
-    std::uint64_t seen = 0;
+    // The 0th percentile is the minimum itself, not a bucket edge;
+    // likewise any fraction that resolves entirely into the underflow
+    // region cannot do better than the tracked exact minimum.
+    if (target <= underflow_)
+        return avg_.min();
+    std::uint64_t seen = underflow_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
@@ -79,28 +89,48 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     overflow_ = 0;
+    underflow_ = 0;
     avg_.reset();
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
 }
 
 void
 StatGroup::regCounter(const std::string &name, const Counter &c,
                       const std::string &desc)
 {
-    entries_.push_back({Entry::Kind::counter, name, desc, &c});
+    entries_.push_back({Entry::Kind::counter, name, desc, &c, {}});
 }
 
 void
 StatGroup::regAverage(const std::string &name, const Average &a,
                       const std::string &desc)
 {
-    entries_.push_back({Entry::Kind::average, name, desc, &a});
+    entries_.push_back({Entry::Kind::average, name, desc, &a, {}});
 }
 
 void
 StatGroup::regHistogram(const std::string &name, const Histogram &h,
                         const std::string &desc)
 {
-    entries_.push_back({Entry::Kind::histogram, name, desc, &h});
+    entries_.push_back({Entry::Kind::histogram, name, desc, &h, {}});
+}
+
+void
+StatGroup::regGauge(const std::string &name,
+                    std::function<double()> fn,
+                    const std::string &desc)
+{
+    entries_.push_back(
+        {Entry::Kind::gauge, name, desc, nullptr, std::move(fn)});
 }
 
 void
@@ -125,9 +155,81 @@ StatGroup::print(std::ostream &os) const
                << " (n=" << h->count() << ")";
             break;
           }
+          case Entry::Kind::gauge:
+            os << e.fn();
+            break;
         }
         os << "  # " << e.desc << "\n";
     }
+}
+
+void
+StatGroup::writeJsonFields(JsonWriter &w) const
+{
+    for (const auto &e : entries_) {
+        w.key(name_ + "." + e.name);
+        switch (e.kind) {
+          case Entry::Kind::counter:
+            w.value(static_cast<const Counter *>(e.ptr)->value());
+            break;
+          case Entry::Kind::average: {
+            const auto *a = static_cast<const Average *>(e.ptr);
+            w.beginObject()
+                .field("mean", a->mean())
+                .field("min", a->min())
+                .field("max", a->max())
+                .field("count", a->count())
+                .endObject();
+            break;
+          }
+          case Entry::Kind::histogram: {
+            const auto *h = static_cast<const Histogram *>(e.ptr);
+            w.beginObject()
+                .field("mean", h->mean())
+                .field("max", h->max())
+                .field("count", h->count())
+                .field("bucket_width", h->bucketWidth())
+                .field("underflow", h->underflow())
+                .field("overflow", h->overflow());
+            w.key("buckets").beginArray();
+            for (std::uint64_t b : h->buckets())
+                w.value(b);
+            w.endArray().endObject();
+            break;
+          }
+          case Entry::Kind::gauge:
+            w.value(e.fn());
+            break;
+        }
+    }
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry reg;
+    return reg;
+}
+
+void
+StatRegistry::add(StatGroup *g)
+{
+    groups_.push_back(g);
+}
+
+void
+StatRegistry::remove(StatGroup *g)
+{
+    groups_.erase(std::remove(groups_.begin(), groups_.end(), g),
+                  groups_.end());
+}
+
+void
+StatRegistry::forEach(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    for (const StatGroup *g : groups_)
+        fn(*g);
 }
 
 } // namespace fp

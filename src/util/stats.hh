@@ -1,24 +1,31 @@
 /**
  * @file
  * Lightweight statistics primitives, loosely modelled on gem5's stats
- * package: scalar counters, running averages, and histograms, grouped
- * into named StatGroup objects that can render themselves as text.
+ * package: scalar counters, running averages, histograms and derived
+ * gauges, grouped into named StatGroup objects that can render
+ * themselves as text or JSON.
  *
  * Every component of the simulator owns a StatGroup; the experiment
  * runner collects the numbers it needs for a figure directly via the
- * typed accessors (no string lookups on the hot path).
+ * typed accessors (no string lookups on the hot path). Groups
+ * additionally self-register in a process-global StatRegistry so the
+ * observability layer (obs::IntervalStats) can snapshot every live
+ * component without explicit wiring.
  */
 
 #ifndef FP_UTIL_STATS_HH
 #define FP_UTIL_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace fp
 {
+
+class JsonWriter;
 
 /** Monotonic event counter. */
 class Counter
@@ -52,8 +59,8 @@ class Average
 };
 
 /**
- * Fixed-width linear histogram with overflow bucket; also tracks the
- * exact mean so bucketing does not distort averages.
+ * Fixed-width linear histogram with underflow and overflow buckets;
+ * also tracks the exact mean so bucketing does not distort averages.
  */
 class Histogram
 {
@@ -67,11 +74,18 @@ class Histogram
     void sample(double v);
     std::uint64_t count() const { return avg_.count(); }
     double mean() const { return avg_.mean(); }
+    double min() const { return avg_.min(); }
     double max() const { return avg_.max(); }
-    /** Value below which the given fraction of samples fall. */
+    /**
+     * Value below which the given fraction of samples fall.
+     * percentile(0.0) is the exact minimum, percentile(1.0) the
+     * exact maximum; interior fractions resolve to a bucket edge.
+     */
     double percentile(double frac) const;
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
+    /** Samples below zero (kept out of bucket 0). */
+    std::uint64_t underflow() const { return underflow_; }
     double bucketWidth() const { return bucketWidth_; }
     void reset();
 
@@ -79,18 +93,28 @@ class Histogram
     double bucketWidth_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
+    std::uint64_t underflow_ = 0;
     Average avg_;
 };
 
 /**
  * A named collection of statistics belonging to one component.
  * Registration is by reference: the group does not own the stats, it
- * only knows how to print them.
+ * only knows how to print them. Gauges are the exception: they are
+ * stored callables sampling instantaneous state (queue depth, stash
+ * occupancy) at render time.
+ *
+ * Every live group is listed in StatRegistry; groups are therefore
+ * deliberately non-copyable (a copy would double-register).
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
 
     void regCounter(const std::string &name, const Counter &c,
                     const std::string &desc);
@@ -98,23 +122,56 @@ class StatGroup
                     const std::string &desc);
     void regHistogram(const std::string &name, const Histogram &h,
                       const std::string &desc);
+    /** Register an instantaneous value, sampled at render time. */
+    void regGauge(const std::string &name,
+                  std::function<double()> fn, const std::string &desc);
 
     /** Render all registered stats as "group.name value # desc". */
     void print(std::ostream &os) const;
+
+    /**
+     * Emit every stat as a field of the (already open) JSON object:
+     * counters and gauges as scalars, averages and histograms as
+     * nested objects. Keys are "<group>.<stat>".
+     */
+    void writeJsonFields(JsonWriter &w) const;
 
     const std::string &name() const { return name_; }
 
   private:
     struct Entry
     {
-        enum class Kind { counter, average, histogram } kind;
+        enum class Kind { counter, average, histogram, gauge } kind;
         std::string name;
         std::string desc;
-        const void *ptr;
+        const void *ptr = nullptr;
+        std::function<double()> fn;
     };
 
     std::string name_;
     std::vector<Entry> entries_;
+};
+
+/**
+ * Process-global list of live StatGroups, in construction order.
+ * Construction order is deterministic for a given configuration, so
+ * snapshots built from the registry are reproducible run-to-run.
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    void add(StatGroup *g);
+    void remove(StatGroup *g);
+
+    /** Visit every live group in registration order. */
+    void forEach(const std::function<void(const StatGroup &)> &fn) const;
+
+    std::size_t size() const { return groups_.size(); }
+
+  private:
+    std::vector<StatGroup *> groups_;
 };
 
 } // namespace fp

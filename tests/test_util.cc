@@ -12,6 +12,7 @@
 #include "util/bitops.hh"
 #include "util/cli.hh"
 #include "util/event_queue.hh"
+#include "util/json.hh"
 #include "util/random.hh"
 #include "util/stat_tests.hh"
 #include "util/stats.hh"
@@ -245,6 +246,101 @@ TEST(Stats, HistogramPercentile)
     EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
 }
 
+TEST(Stats, HistogramUnderflow)
+{
+    Histogram h(4, 10.0);
+    h.sample(-1.0);
+    h.sample(-100.0);
+    h.sample(5.0);
+    // Negative samples are counted separately, not folded into
+    // bucket 0, so bucket 0 reflects only genuine [0, width) samples.
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), -100.0);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Stats, HistogramPercentileZeroIsMinimum)
+{
+    Histogram h(10, 10.0);
+    h.sample(7.0);
+    h.sample(42.0);
+    h.sample(93.0);
+    // percentile(0.0) must be the exact minimum, not the first
+    // occupied bucket's edge (which would be 0.0 here).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 93.0);
+}
+
+TEST(Stats, HistogramPercentileWithUnderflow)
+{
+    Histogram h(10, 1.0);
+    h.sample(-5.0);
+    h.sample(-3.0);
+    h.sample(2.5);
+    h.sample(8.5);
+    // Half the mass is negative: low fractions resolve to the exact
+    // minimum, fractions above 0.5 walk the positive buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), -5.0);
+    EXPECT_GE(h.percentile(0.9), 2.0);
+}
+
+TEST(Stats, GaugeSamplesAtRenderTime)
+{
+    int depth = 3;
+    StatGroup g("gauged");
+    g.regGauge("depth", [&depth] { return double(depth); }, "a gauge");
+    std::ostringstream os1;
+    g.print(os1);
+    EXPECT_NE(os1.str().find("3"), std::string::npos);
+    depth = 7;
+    std::ostringstream os2;
+    g.print(os2);
+    EXPECT_NE(os2.str().find("7"), std::string::npos);
+}
+
+TEST(Stats, RegistryTracksLiveGroups)
+{
+    std::size_t before = StatRegistry::instance().size();
+    {
+        StatGroup g1("reg_a"), g2("reg_b");
+        EXPECT_EQ(StatRegistry::instance().size(), before + 2);
+        bool saw_a = false, saw_b = false;
+        StatRegistry::instance().forEach([&](const StatGroup &g) {
+            saw_a = saw_a || g.name() == "reg_a";
+            saw_b = saw_b || g.name() == "reg_b";
+        });
+        EXPECT_TRUE(saw_a);
+        EXPECT_TRUE(saw_b);
+    }
+    EXPECT_EQ(StatRegistry::instance().size(), before);
+}
+
+TEST(Stats, WriteJsonFieldsRoundTrips)
+{
+    Counter c;
+    c.inc(41);
+    Histogram h(4, 10.0);
+    h.sample(-2.0);
+    h.sample(15.0);
+    StatGroup g("grp");
+    g.regCounter("count", c, "a counter");
+    g.regHistogram("hist", h, "a histogram");
+    JsonWriter w;
+    w.beginObject();
+    g.writeJsonFields(w);
+    w.endObject();
+
+    JsonValue v = JsonValue::parse(w.str());
+    EXPECT_EQ(v.at("grp.count").asUint64(), 41u);
+    const JsonValue &hist = v.at("grp.hist");
+    EXPECT_EQ(hist.at("underflow").asUint64(), 1u);
+    EXPECT_EQ(hist.at("count").asUint64(), 2u);
+    EXPECT_EQ(hist.at("buckets").at(1).asUint64(), 1u);
+}
+
 TEST(Stats, StatGroupPrints)
 {
     Counter c;
@@ -259,6 +355,63 @@ TEST(Stats, StatGroupPrints)
     EXPECT_NE(os.str().find("grp.count"), std::string::npos);
     EXPECT_NE(os.str().find("5"), std::string::npos);
     EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+// --- json parser ---------------------------------------------------------
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").asNumber(), -250.0);
+    EXPECT_EQ(JsonValue::parse("\"a b\"").asString(), "a b");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    JsonValue v = JsonValue::parse(
+        R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(1).asUint64(), 2u);
+    EXPECT_TRUE(v.at("a").at(2).at("b").asBool());
+    EXPECT_TRUE(v.at("c").at("d").isNull());
+    EXPECT_EQ(v.at("e").asString(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParsesEscapesAndUnicode)
+{
+    JsonValue v = JsonValue::parse(R"("tab\tquote\"uA")");
+    EXPECT_EQ(v.asString(), "tab\tquote\"uA");
+}
+
+TEST(Json, ObjectKeysKeepSourceOrder)
+{
+    JsonValue v = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, WriterOutputParsesBack)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("n", std::uint64_t{42})
+        .field("f", 2.125)
+        .field("s", "he\"llo")
+        .field("b", true);
+    w.key("arr").beginArray().value(1).value(2).endArray();
+    w.endObject();
+
+    JsonValue v = JsonValue::parse(w.str());
+    EXPECT_EQ(v.at("n").asUint64(), 42u);
+    EXPECT_DOUBLE_EQ(v.at("f").asNumber(), 2.125);
+    EXPECT_EQ(v.at("s").asString(), "he\"llo");
+    EXPECT_TRUE(v.at("b").asBool());
+    EXPECT_EQ(v.at("arr").size(), 2u);
 }
 
 // --- event queue ----------------------------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Plot the figure benches' --csv output.
+"""Plot the figure benches' --csv output, or interval-stats series.
 
 Each bench prints one or more CSV tables when run with --csv; pipe a
 bench into a file and point this script at it to get matplotlib
@@ -12,12 +12,35 @@ The script is deliberately generic: the first column is treated as
 the category axis, every following numeric column becomes a series.
 Files containing several blank-line-separated tables produce one
 subplot per table.
+
+With --stats the input is instead the JSON-lines file written by the
+--stats-out flag (see docs/OBSERVABILITY.md) and the output is a
+time-series view of the run — stash occupancy, label-queue depth and
+per-channel DRAM queue depth over simulated time:
+
+    ./build/bench/bench_fig10 --quick --stats-out run.jsonl
+    tools/plot_results.py --stats run.jsonl -o run.png
+
+Use --fields to plot a custom comma-separated set of stat keys.
 """
 
 import argparse
 import csv
 import io
+import json
 import sys
+
+# Default --stats panels: (title, y label, key predicate).
+STATS_PANELS = [
+    ("Stash occupancy", "blocks",
+     lambda k: k == "oram_controller.stash_depth"),
+    ("Queue depth", "entries",
+     lambda k: k in ("oram_controller.label_queue_total",
+                     "oram_controller.label_queue_real",
+                     "oram_controller.addr_queue_depth")),
+    ("DRAM channel queue depth", "transactions",
+     lambda k: k.startswith("dram.ch") and k.endswith(".queue_depth")),
+]
 
 
 def split_tables(text):
@@ -59,14 +82,82 @@ def parse_table(block):
     }
 
 
+def load_stats(path):
+    """Read a --stats-out JSON-lines file into {key: [values]}."""
+    ticks, series = [], {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            ticks.append(obj["tick"])
+            for key, value in obj.items():
+                if key == "tick" or not isinstance(value, (int, float)):
+                    continue
+                series.setdefault(key, []).append(value)
+    if not ticks:
+        sys.exit(f"{path}: no samples")
+    # Drop series that missed a sample so every line spans the x axis.
+    series = {k: v for k, v in series.items() if len(v) == len(ticks)}
+    return ticks, series
+
+
+def plot_stats(args, plt):
+    ticks, series = load_stats(args.csv_file)
+    us = [t / 1e6 for t in ticks]  # 1 tick = 1 ps
+
+    if args.fields:
+        wanted = [f.strip() for f in args.fields.split(",")]
+        missing = [f for f in wanted if f not in series]
+        if missing:
+            sys.exit(f"unknown stat keys: {missing}; "
+                     f"available: {sorted(series)}")
+        panels = [(", ".join(wanted), "", lambda k: k in wanted)]
+    else:
+        panels = STATS_PANELS
+
+    panels = [(t, yl, p) for t, yl, p in panels
+              if any(p(k) for k in series)]
+    if not panels:
+        sys.exit("no matching series in stats file")
+
+    fig, axes = plt.subplots(len(panels), 1,
+                             figsize=(9, 3 * len(panels)),
+                             sharex=True, squeeze=False)
+    for ax, (title, ylabel, pred) in zip(axes.flat, panels):
+        for key in sorted(k for k in series if pred(k)):
+            ax.plot(us, series[key], label=key, linewidth=1)
+        ax.set_title(title, fontsize=10)
+        ax.set_ylabel(ylabel)
+        ax.legend(fontsize=8)
+        ax.grid(alpha=0.3)
+    axes.flat[-1].set_xlabel("simulated time (us)")
+    if args.title:
+        fig.suptitle(args.title)
+    fig.tight_layout()
+
+    out = args.output or args.csv_file.rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv_file", help="bench --csv output")
+    ap.add_argument("csv_file",
+                    help="bench --csv output, or with --stats an "
+                         "interval-stats JSON-lines file")
     ap.add_argument("-o", "--output", default=None,
                     help="output image (default: <input>.png)")
     ap.add_argument("--kind", choices=["bar", "line"],
                     default="bar")
     ap.add_argument("--title", default=None)
+    ap.add_argument("--stats", action="store_true",
+                    help="treat input as --stats-out JSON lines and "
+                         "plot time series")
+    ap.add_argument("--fields", default=None,
+                    help="with --stats: comma-separated stat keys to "
+                         "plot instead of the default panels")
     args = ap.parse_args()
 
     try:
@@ -75,6 +166,10 @@ def main():
         import matplotlib.pyplot as plt
     except ImportError:
         sys.exit("matplotlib is required: pip install matplotlib")
+
+    if args.stats:
+        plot_stats(args, plt)
+        return
 
     with open(args.csv_file) as f:
         text = f.read()

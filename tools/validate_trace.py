@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate observability output files (stdlib only; CI-friendly).
+
+Checks a Chrome-trace JSON file produced with --trace-out and/or an
+interval-stats JSON-lines file produced with --stats-out:
+
+    tools/validate_trace.py --trace run.trace.json
+    tools/validate_trace.py --stats run.stats.jsonl
+    tools/validate_trace.py --trace t.json --stats s.jsonl
+
+Trace checks (the subset of the trace-event format Perfetto and
+chrome://tracing rely on):
+  - top level is {"traceEvents": [...]}
+  - every event has name/ph/ts/pid/tid with the right types
+  - ph is one of M (metadata), X (complete), i (instant), C (counter)
+  - X events carry a non-negative dur; i events carry a scope
+  - C events carry a one-entry numeric args object
+  - timestamps are non-negative and finite
+
+Stats checks:
+  - every line parses as one JSON object
+  - every line has an integer "tick"; ticks strictly increase
+  - all lines share the same key set (a consistent time series)
+  - counter-like fields never decrease (spot-checked on *.row_hits
+    and *.real_accesses keys)
+
+Exit status 0 when everything passes; 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_trace: FAIL: {msg}")
+
+
+def validate_trace(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents must be an array")
+
+    known_ph = {"M", "X", "i", "C"}
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key, typ in (("name", str), ("ph", str)):
+            if not isinstance(ev.get(key), typ):
+                fail(f"{where}: missing or mistyped '{key}'")
+        ph = ev["ph"]
+        if ph not in known_ph:
+            fail(f"{where}: unknown phase '{ph}'")
+        for key in ("ts", "pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"{where}: missing or mistyped '{key}'")
+            if not math.isfinite(v) or v < 0:
+                fail(f"{where}: '{key}' = {v} out of range")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: X event needs non-negative dur")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            fail(f"{where}: instant event needs scope s in t/p/g")
+        if ph == "C":
+            args = ev.get("args")
+            if (not isinstance(args, dict) or len(args) != 1 or
+                    not all(isinstance(v, (int, float))
+                            for v in args.values())):
+                fail(f"{where}: counter needs one numeric arg")
+        if ph == "M" and ev["name"] == "thread_name":
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                fail(f"{where}: thread_name without args.name")
+
+    counts = {}
+    for ev in events:
+        counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
+    print(f"validate_trace: {path}: OK "
+          f"({len(events)} events: " +
+          ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) +
+          ")")
+
+
+def validate_stats(path):
+    keysets = None
+    prev_tick = None
+    monotonic = {}
+    lines = 0
+    with open(path) as f:
+        for ln, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}: line {ln}"
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{where}: not an object")
+            tick = obj.get("tick")
+            if not isinstance(tick, int) or tick < 0:
+                fail(f"{where}: missing or mistyped 'tick'")
+            if prev_tick is not None and tick <= prev_tick:
+                fail(f"{where}: tick {tick} not after {prev_tick}")
+            prev_tick = tick
+
+            keys = frozenset(obj)
+            if keysets is None:
+                keysets = keys
+            elif keys != keysets:
+                extra = keys ^ keysets
+                fail(f"{where}: key set differs from line 1 "
+                     f"(symmetric difference: {sorted(extra)[:5]})")
+
+            for key, value in obj.items():
+                if not (key.endswith(".row_hits") or
+                        key.endswith(".real_accesses")):
+                    continue
+                if value < monotonic.get(key, 0):
+                    fail(f"{where}: cumulative counter {key} "
+                         f"decreased ({monotonic[key]} -> {value})")
+                monotonic[key] = value
+            lines += 1
+    if lines == 0:
+        fail(f"{path}: no samples")
+    print(f"validate_trace: {path}: OK ({lines} samples, "
+          f"{len(keysets)} fields, final tick {prev_tick})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome-trace JSON file")
+    ap.add_argument("--stats", help="interval-stats JSON-lines file")
+    args = ap.parse_args()
+    if not args.trace and not args.stats:
+        ap.error("nothing to do: pass --trace and/or --stats")
+    if args.trace:
+        validate_trace(args.trace)
+    if args.stats:
+        validate_stats(args.stats)
+
+
+if __name__ == "__main__":
+    main()
