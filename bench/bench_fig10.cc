@@ -31,8 +31,19 @@ main(int argc, char **argv)
 
     auto cfg = baseConfig(opt);
     mem::TreeGeometry geo(opt.leafLevel);
+    const std::vector<unsigned> queues = {1, 2, 4, 8,
+                                          16, 32, 64, 128};
 
-    auto trad = sim::runMix(sim::withTraditional(cfg), opt.mixes[0]);
+    std::vector<sim::SweepPoint> points;
+    points.push_back(sim::pointFromMix(
+        "traditional", sim::withTraditional(cfg), opt.mixes[0]));
+    for (unsigned q : queues) {
+        points.push_back(sim::pointFromMix(
+            "merge q=" + std::to_string(q),
+            sim::withMergeOnly(cfg, q), opt.mixes[0]));
+    }
+    auto results = runSweep(opt, std::move(points));
+    const auto &trad = results[0];
 
     TextTable table("Fig 10 (" + opt.mixes[0] + ", L=" +
                     std::to_string(opt.leafLevel) + ")");
@@ -44,15 +55,14 @@ main(int argc, char **argv)
                   TextTable::fmt(1.0, 3),
                   TextTable::fmt(trad.rowHitRate(), 3)});
 
-    for (unsigned q : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-        auto r = sim::runMix(sim::withMergeOnly(cfg, q),
-                             opt.mixes[0]);
+    for (std::size_t i = 0; i < queues.size(); ++i) {
+        const auto &r = results[1 + i];
         // Analytic fetched length: L+1 - E[best-of-q overlap] + 1
         // (the read starts at the retained level).
         double analytic = geo.numLevels() -
-                          core::expectedBestOverlap(geo, q);
+                          core::expectedBestOverlap(geo, queues[i]);
         table.addRow(
-            {"merge q=" + std::to_string(q),
+            {"merge q=" + std::to_string(queues[i]),
              TextTable::fmt(r.avgReadPathLen, 2),
              TextTable::fmt(analytic, 2),
              TextTable::fmt(r.avgDramServiceNs /

@@ -33,14 +33,26 @@ main(int argc, char **argv)
         header.push_back("q=" + std::to_string(q));
     table.setHeader(header);
 
-    std::vector<std::vector<double>> ratios(queues.size());
+    std::vector<sim::SweepPoint> points;
     for (const auto &mix : opt.mixes) {
-        auto trad = sim::runMix(sim::withTraditional(cfg), mix);
+        points.push_back(sim::pointFromMix(
+            mix + "/traditional", sim::withTraditional(cfg), mix));
+        for (unsigned q : queues) {
+            points.push_back(sim::pointFromMix(
+                mix + "/q=" + std::to_string(q),
+                sim::withMergeOnly(cfg, q), mix));
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t stride = 1 + queues.size();
+
+    std::vector<std::vector<double>> ratios(queues.size());
+    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
+        const auto &trad = results[m * stride];
         std::vector<std::string> row = {
-            mix, TextTable::fmt(trad.avgLlcLatencyNs, 0)};
+            opt.mixes[m], TextTable::fmt(trad.avgLlcLatencyNs, 0)};
         for (std::size_t i = 0; i < queues.size(); ++i) {
-            auto r =
-                sim::runMix(sim::withMergeOnly(cfg, queues[i]), mix);
+            const auto &r = results[m * stride + 1 + i];
             double ratio = r.avgLlcLatencyNs / trad.avgLlcLatencyNs;
             ratios[i].push_back(ratio);
             row.push_back(TextTable::fmt(ratio, 3));

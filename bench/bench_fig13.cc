@@ -44,12 +44,24 @@ main(int argc, char **argv)
         header.push_back(c.name);
     table.setHeader(header);
 
-    std::vector<std::vector<double>> ratios(configs.size());
+    std::vector<sim::SweepPoint> points;
     for (const auto &mix : opt.mixes) {
-        auto trad = sim::runMix(sim::withTraditional(cfg), mix);
-        std::vector<std::string> row = {mix};
+        points.push_back(sim::pointFromMix(
+            mix + "/traditional", sim::withTraditional(cfg), mix));
+        for (const auto &c : configs) {
+            points.push_back(
+                sim::pointFromMix(mix + "/" + c.name, c.cfg, mix));
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t stride = 1 + configs.size();
+
+    std::vector<std::vector<double>> ratios(configs.size());
+    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
+        const auto &trad = results[m * stride];
+        std::vector<std::string> row = {opt.mixes[m]};
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            auto r = sim::runMix(configs[i].cfg, mix);
+            const auto &r = results[m * stride + 1 + i];
             double ratio = r.avgLlcLatencyNs / trad.avgLlcLatencyNs;
             ratios[i].push_back(ratio);
             row.push_back(TextTable::fmt(ratio, 3));

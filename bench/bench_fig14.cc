@@ -45,13 +45,25 @@ main(int argc, char **argv)
         header.push_back(c.name);
     table.setHeader(header);
 
-    std::vector<std::vector<double>> slowdowns(configs.size());
+    std::vector<sim::SweepPoint> points;
     for (const auto &mix : opt.mixes) {
-        auto insecure = sim::runMix(sim::withInsecure(cfg), mix);
+        points.push_back(sim::pointFromMix(
+            mix + "/insecure", sim::withInsecure(cfg), mix));
+        for (const auto &c : configs) {
+            points.push_back(
+                sim::pointFromMix(mix + "/" + c.name, c.cfg, mix));
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t stride = 1 + configs.size();
+
+    std::vector<std::vector<double>> slowdowns(configs.size());
+    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
+        const auto &insecure = results[m * stride];
         auto base = static_cast<double>(insecure.executionTicks);
-        std::vector<std::string> row = {mix};
+        std::vector<std::string> row = {opt.mixes[m]};
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            auto r = sim::runMix(configs[i].cfg, mix);
+            const auto &r = results[m * stride + 1 + i];
             double s = static_cast<double>(r.executionTicks) / base;
             slowdowns[i].push_back(s);
             row.push_back(TextTable::fmt(s, 2));

@@ -23,27 +23,35 @@ seriesFor(const BenchOptions &opt, sim::SimConfig cfg,
 {
     cfg.maxOutstanding = outstanding;
 
-    struct Variant
-    {
-        std::string name;
-        sim::SimConfig cfg;
-    };
-    const std::vector<sim::SimConfig> variants = {
+    std::vector<sim::SimConfig> variants = {
         sim::withMergeOnly(cfg, 64),
         sim::withMergeMac(cfg, 128 << 10, 64),
         sim::withMergeMac(cfg, 1 << 20, 64),
         sim::withMergeTreetop(cfg, 1 << 20, 64),
     };
+    for (auto &v : variants)
+        v.maxOutstanding = outstanding;
+    auto trad_cfg = sim::withTraditional(cfg);
+    trad_cfg.maxOutstanding = outstanding;
+
+    std::vector<sim::SweepPoint> points;
+    for (const auto &mix : opt.mixes) {
+        points.push_back(
+            sim::pointFromMix(mix + "/traditional", trad_cfg, mix));
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            points.push_back(sim::pointFromMix(
+                mix + "/variant" + std::to_string(i), variants[i],
+                mix));
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t stride = 1 + variants.size();
 
     std::vector<std::vector<double>> ratios(variants.size());
-    for (const auto &mix : opt.mixes) {
-        auto trad_cfg = sim::withTraditional(cfg);
-        trad_cfg.maxOutstanding = outstanding;
-        auto trad = sim::runMix(trad_cfg, mix);
+    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
+        const auto &trad = results[m * stride];
         for (std::size_t i = 0; i < variants.size(); ++i) {
-            auto v = variants[i];
-            v.maxOutstanding = outstanding;
-            auto r = sim::runMix(v, mix);
+            const auto &r = results[m * stride + 1 + i];
             ratios[i].push_back(r.avgLlcLatencyNs /
                                 trad.avgLlcLatencyNs);
         }
@@ -89,19 +97,32 @@ main(int argc, char **argv)
     q.setHeader({"queue", "latency/traditional"});
     auto in_cfg = cfg;
     in_cfg.maxOutstanding = 1;
-    std::vector<double> trad_lat;
+    const std::vector<unsigned> queue_sizes = {4, 16, 64};
+
+    std::vector<sim::SweepPoint> points;
     for (const auto &mix : opt.mixes) {
-        auto t = sim::withTraditional(in_cfg);
-        trad_lat.push_back(sim::runMix(t, mix).avgLlcLatencyNs);
+        points.push_back(sim::pointFromMix(
+            mix + "/in-order traditional",
+            sim::withTraditional(in_cfg), mix));
     }
-    for (unsigned qs : {4u, 16u, 64u}) {
-        std::vector<double> ratios;
-        for (std::size_t i = 0; i < opt.mixes.size(); ++i) {
-            auto r = sim::runMix(sim::withMergeOnly(in_cfg, qs),
-                                 opt.mixes[i]);
-            ratios.push_back(r.avgLlcLatencyNs / trad_lat[i]);
+    for (unsigned qs : queue_sizes) {
+        for (const auto &mix : opt.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/in-order q=" + std::to_string(qs),
+                sim::withMergeOnly(in_cfg, qs), mix));
         }
-        q.addRow({std::to_string(qs),
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t nmixes = opt.mixes.size();
+
+    for (std::size_t qi = 0; qi < queue_sizes.size(); ++qi) {
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < nmixes; ++i) {
+            const auto &r = results[nmixes * (1 + qi) + i];
+            ratios.push_back(r.avgLlcLatencyNs /
+                             results[i].avgLlcLatencyNs);
+        }
+        q.addRow({std::to_string(queue_sizes[qi]),
                   TextTable::fmt(sim::geomean(ratios), 3)});
     }
     emit(q);

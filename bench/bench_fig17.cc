@@ -17,14 +17,31 @@ using namespace fp::bench;
 namespace
 {
 
-double
-normalizedLatency(const sim::SimConfig &fork_cfg,
-                  const sim::SimConfig &trad_cfg,
-                  const std::vector<workload::WorkloadProfile> &mix)
+/** Append a fork/traditional point pair for one generated mix. */
+void
+addPair(std::vector<sim::SweepPoint> &points, const std::string &name,
+        const sim::SimConfig &cfg,
+        const std::vector<workload::WorkloadProfile> &mix)
 {
-    auto fork = sim::runProfiles(fork_cfg, mix);
-    auto trad = sim::runProfiles(trad_cfg, mix);
-    return fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+    points.push_back(sim::pointFromProfiles(
+        name + "/fork", sim::withMergeMac(cfg, 1 << 20, 64), mix));
+    points.push_back(sim::pointFromProfiles(
+        name + "/traditional", sim::withTraditional(cfg), mix));
+}
+
+/** Geomean of fork/traditional latency over consecutive pairs. */
+double
+pairGeomean(const std::vector<sim::RunResult> &results,
+            std::size_t first_pair, std::size_t npairs)
+{
+    std::vector<double> ratios;
+    for (std::size_t s = 0; s < npairs; ++s) {
+        const auto &fork = results[2 * (first_pair + s)];
+        const auto &trad = results[2 * (first_pair + s) + 1];
+        ratios.push_back(fork.avgLlcLatencyNs /
+                         trad.avgLlcLatencyNs);
+    }
+    return sim::geomean(ratios);
 }
 
 } // anonymous namespace
@@ -42,43 +59,59 @@ main(int argc, char **argv)
            "moderately with ORAM size");
 
     auto base = baseConfig(opt);
+    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+    const std::vector<std::pair<std::string, unsigned>> sizes = {
+        {"1GB", 22}, {"4GB", 24}, {"16GB", 26}, {"32GB", 27}};
 
-    TextTable a("Fig 17(a): latency/traditional vs threads "
-                "(merge+1M MAC)");
-    a.setHeader({"threads", "latency_norm"});
-    for (unsigned cores : {1u, 2u, 4u, 8u}) {
-        std::vector<double> ratios;
+    // Both sub-figures in one sweep: (a)'s pairs first, then (b)'s.
+    std::vector<sim::SweepPoint> points;
+    for (unsigned cores : thread_counts) {
         for (unsigned s = 0; s < mixes_per_point; ++s) {
             auto mix = workload::makeMixForCores(cores, 40 + s);
             auto cfg = base;
             cfg.cores = cores;
-            ratios.push_back(normalizedLatency(
-                sim::withMergeMac(cfg, 1 << 20, 64),
-                sim::withTraditional(cfg), mix));
+            addPair(points,
+                    "threads=" + std::to_string(cores) + "/s" +
+                        std::to_string(s),
+                    cfg, mix);
         }
-        a.addRow({std::to_string(cores),
-                  TextTable::fmt(sim::geomean(ratios), 3)});
+    }
+    for (const auto &[name, leaf] : sizes) {
+        for (unsigned s = 0; s < mixes_per_point; ++s) {
+            auto mix = workload::makeMixForCores(4, 80 + s);
+            auto cfg = base;
+            cfg.cores = 4;
+            cfg.controller.oram.leafLevel = leaf;
+            addPair(points, name + "/s" + std::to_string(s), cfg,
+                    mix);
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+
+    TextTable a("Fig 17(a): latency/traditional vs threads "
+                "(merge+1M MAC)");
+    a.setHeader({"threads", "latency_norm"});
+    for (std::size_t c = 0; c < thread_counts.size(); ++c) {
+        a.addRow({std::to_string(thread_counts[c]),
+                  TextTable::fmt(pairGeomean(results,
+                                             c * mixes_per_point,
+                                             mixes_per_point),
+                                 3)});
     }
     emit(a);
 
     TextTable b("Fig 17(b): latency/traditional vs ORAM size "
                 "(4 threads, merge+1M MAC)");
     b.setHeader({"oram_size", "leaf_level", "latency_norm"});
-    const std::vector<std::pair<std::string, unsigned>> sizes = {
-        {"1GB", 22}, {"4GB", 24}, {"16GB", 26}, {"32GB", 27}};
-    for (const auto &[name, leaf] : sizes) {
-        std::vector<double> ratios;
-        for (unsigned s = 0; s < mixes_per_point; ++s) {
-            auto mix = workload::makeMixForCores(4, 80 + s);
-            auto cfg = base;
-            cfg.cores = 4;
-            cfg.controller.oram.leafLevel = leaf;
-            ratios.push_back(normalizedLatency(
-                sim::withMergeMac(cfg, 1 << 20, 64),
-                sim::withTraditional(cfg), mix));
-        }
-        b.addRow({name, std::to_string(leaf),
-                  TextTable::fmt(sim::geomean(ratios), 3)});
+    const std::size_t b_first =
+        thread_counts.size() * mixes_per_point;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        b.addRow({sizes[i].first, std::to_string(sizes[i].second),
+                  TextTable::fmt(
+                      pairGeomean(results,
+                                  b_first + i * mixes_per_point,
+                                  mixes_per_point),
+                      3)});
     }
     emit(b);
     return 0;

@@ -34,15 +34,30 @@ main(int argc, char **argv)
         header.push_back(std::to_string(ch) + "-channel");
     table.setHeader(header);
 
-    std::vector<std::vector<double>> speedups(channels.size());
+    std::vector<sim::SweepPoint> points;
     for (const auto &mix : opt.mixes) {
-        std::vector<std::string> row = {mix};
-        for (std::size_t i = 0; i < channels.size(); ++i) {
+        for (unsigned ch : channels) {
             auto cfg = base;
-            cfg.dram = dram::DramParams::ddr3_1600(channels[i]);
-            auto trad = sim::runMix(sim::withTraditional(cfg), mix);
-            auto fork = sim::runMix(
-                sim::withMergeMac(cfg, 1 << 20, 64), mix);
+            cfg.dram = dram::DramParams::ddr3_1600(ch);
+            std::string tag =
+                mix + "/" + std::to_string(ch) + "ch";
+            points.push_back(sim::pointFromMix(
+                tag + "/traditional", sim::withTraditional(cfg),
+                mix));
+            points.push_back(sim::pointFromMix(
+                tag + "/fork", sim::withMergeMac(cfg, 1 << 20, 64),
+                mix));
+        }
+    }
+    auto results = runSweep(opt, std::move(points));
+    const std::size_t stride = 2 * channels.size();
+
+    std::vector<std::vector<double>> speedups(channels.size());
+    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
+        std::vector<std::string> row = {opt.mixes[m]};
+        for (std::size_t i = 0; i < channels.size(); ++i) {
+            const auto &trad = results[m * stride + 2 * i];
+            const auto &fork = results[m * stride + 2 * i + 1];
             double speedup =
                 trad.avgLlcLatencyNs / fork.avgLlcLatencyNs;
             speedups[i].push_back(speedup);

@@ -33,15 +33,25 @@ main(int argc, char **argv)
     table.setHeader(
         {"workload", "traditional(ns)", "merge+1M_MAC", "dummy_frac"});
 
+    const auto names = workload::parsecNames();
+    std::vector<sim::SweepPoint> points;
+    for (const auto &name : names) {
+        points.push_back(sim::pointFromParsec(
+            name + "/traditional", sim::withTraditional(cfg), name));
+        points.push_back(sim::pointFromParsec(
+            name + "/fork", sim::withMergeMac(cfg, 1 << 20, 64),
+            name));
+    }
+    auto results = runSweep(opt, std::move(points));
+
     std::vector<double> ratios;
-    for (const auto &name : workload::parsecNames()) {
-        auto trad = sim::runParsec(sim::withTraditional(cfg), name);
-        auto fork = sim::runParsec(
-            sim::withMergeMac(cfg, 1 << 20, 64), name);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &trad = results[2 * i];
+        const auto &fork = results[2 * i + 1];
         double ratio = fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
         ratios.push_back(ratio);
         table.addRow(
-            {name, TextTable::fmt(trad.avgLlcLatencyNs, 0),
+            {names[i], TextTable::fmt(trad.avgLlcLatencyNs, 0),
              TextTable::fmt(ratio, 3),
              TextTable::fmt(static_cast<double>(fork.dummyAccesses) /
                                 fork.totalAccesses(),

@@ -3,6 +3,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/logging.hh"
+
 namespace fp::bench
 {
 
@@ -25,6 +27,7 @@ parseOptions(const CliArgs &args)
     }
     opt.csv = args.getBool("csv");
     csvMode = opt.csv;
+    opt.sweep = sim::sweepOptionsFromArgs(args);
 
     sim::SimConfig obs_probe;
     sim::applyObsFlags(obs_probe, args);
@@ -50,6 +53,22 @@ baseConfig(const BenchOptions &opt)
     cfg.controller.oram.leafLevel = opt.leafLevel;
     cfg.obs = opt.obs;
     return cfg;
+}
+
+std::vector<sim::RunResult>
+runSweep(const BenchOptions &opt, std::vector<sim::SweepPoint> points)
+{
+    sim::SweepRunner runner(opt.sweep);
+    auto outcomes = runner.run(std::move(points));
+    std::vector<sim::RunResult> results;
+    results.reserve(outcomes.size());
+    for (const auto &out : outcomes) {
+        if (!out.ok)
+            fp_fatal("sweep point '%s' failed: %s", out.name.c_str(),
+                     out.error.c_str());
+        results.push_back(out.result);
+    }
+    return results;
 }
 
 void

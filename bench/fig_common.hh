@@ -6,6 +6,8 @@
  *   --requests=N    LLC misses per core (default 1200)
  *   --leaf-level=L  ORAM tree depth (default 24, the paper's 4 GB)
  *   --mixes=a,b     comma-separated subset of Table 2 mixes
+ *   --jobs=N        parallel simulation points (default: hardware
+ *                   concurrency; 1 reproduces sequential output)
  *   --quick         shrink to a smoke-test sized run
  *   --csv           emit tables as CSV (for external plotting)
  *
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 #include "workload/mixes.hh"
@@ -39,6 +42,7 @@ struct BenchOptions
     std::vector<std::string> mixes;
     bool csv = false;
     sim::ObsConfig obs;
+    sim::SweepOptions sweep;
 };
 
 /** Parse the common flags. */
@@ -46,6 +50,16 @@ BenchOptions parseOptions(const CliArgs &args);
 
 /** The paper's Table 1 config with the bench's scaling applied. */
 sim::SimConfig baseConfig(const BenchOptions &opt);
+
+/**
+ * Run every point through a SweepRunner configured by --jobs, with a
+ * per-point progress line on stderr (unless --csv). Any failed point
+ * is fatal (the figure would be missing a series); returns the
+ * RunResults in point order.
+ */
+std::vector<sim::RunResult> runSweep(const BenchOptions &opt,
+                                     std::vector<sim::SweepPoint>
+                                         points);
 
 /** Print a table followed by a blank line. */
 void emit(const TextTable &table);

@@ -1,5 +1,7 @@
 #include "core/label_queue.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace fp::core
@@ -44,6 +46,19 @@ LabelQueue::insertReal(LeafLabel label, std::uint64_t token,
 void
 LabelQueue::ensureFull()
 {
+    // Shrink back first: overflow inserts (chain spawns) may have
+    // pushed the queue past capacity. Drop padding dummies — they were
+    // never revealed — until we are back at capacity or only real
+    // entries remain (real overflow drains through selectNext).
+    while (entries_.size() > capacity_) {
+        auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [](const LabelEntry &e) {
+                                   return e.dummy;
+                               });
+        if (it == entries_.end())
+            break;
+        entries_.erase(it);
+    }
     while (entries_.size() < capacity_) {
         LabelEntry e;
         e.label = rng_.uniformInt(geo_.numLeaves());
@@ -55,6 +70,11 @@ LabelQueue::ensureFull()
 bool
 LabelQueue::hasSpaceForReal() const
 {
+    // An over-capacity queue (overflow insert not yet drained) has no
+    // space regardless of dummy count; reporting space here would let
+    // the queue ratchet past capacity permanently.
+    if (entries_.size() > capacity_)
+        return false;
     if (realCount_ < entries_.size())
         return true; // a dummy can be replaced
     return entries_.size() < capacity_;

@@ -78,7 +78,11 @@ class LabelQueue
     bool insertReal(LeafLabel label, std::uint64_t token,
                     bool allow_overflow = false);
 
-    /** Pad with fresh uniform dummy labels up to capacity. */
+    /**
+     * Restore the pool to exactly capacity entries: drop padding
+     * dummies while an overflow insert has the queue over capacity,
+     * then pad with fresh uniform dummy labels while under.
+     */
     void ensureFull();
 
     /**

@@ -124,7 +124,12 @@ OramController::OramController(const ControllerParams &params,
     setDebugTickSource(eq_.nowPtr());
 }
 
-OramController::~OramController() = default;
+OramController::~OramController()
+{
+    // Drop the thread's debug clock only if it still points at our
+    // event queue (a later-constructed System may have replaced it).
+    clearDebugTickSource(eq_.nowPtr());
+}
 
 void
 OramController::setTracer(obs::Tracer *tracer)

@@ -138,10 +138,15 @@ Channel::kick()
     AccessPlan plan = bank.plan(tx.row, tx.isWrite, earliest,
                                 act_allowed);
 
-    // Bus turnaround on direction switch.
+    // Bus turnaround on direction switch: write->read pays tWTR (the
+    // write must reach the array before the bank can be read),
+    // read->write only the tRTRS bus gap. The first transfer on an
+    // idle channel pays nothing.
     Tick bus_free = dataBusFreeAt_;
-    if (tx.isWrite != lastWasWrite_)
+    if (lastDir_ == BusDir::write && !tx.isWrite)
         bus_free += p_.timing.cycles(p_.timing.tWTR);
+    else if (lastDir_ == BusDir::read && tx.isWrite)
+        bus_free += p_.timing.readToWriteGap();
 
     Tick first_burst = std::max(plan.firstData, bus_free);
     Tick last_burst_end =
@@ -163,7 +168,7 @@ Channel::kick()
         readBursts_.inc(tx.bursts);
 
     dataBusFreeAt_ = last_burst_end;
-    lastWasWrite_ = tx.isWrite;
+    lastDir_ = tx.isWrite ? BusDir::write : BusDir::read;
     issuing_ = true;
 
     if (trc_ && trc_->on(obs::TraceLevel::full)) {

@@ -86,8 +86,14 @@ class Channel
     Tick lastActAt_ = 0;
     std::deque<Tick> actWindow_;
 
-    /** Direction of the last data transfer, for tWTR turnaround. */
-    bool lastWasWrite_ = false;
+    /**
+     * Direction of the last data transfer, for bus turnaround. The
+     * two switch directions cost differently (write->read pays tWTR,
+     * read->write only the tRTRS bus gap), and the very first
+     * transfer pays nothing at all.
+     */
+    enum class BusDir { none, read, write };
+    BusDir lastDir_ = BusDir::none;
 
     fp::Counter rowHits_;
     fp::Counter rowMisses_;

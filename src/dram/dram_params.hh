@@ -36,12 +36,25 @@ struct DramTiming
     unsigned tRRD = 6;      //!< ACT to ACT, different banks.
     unsigned tFAW = 32;     //!< Four-activate window.
     unsigned tWTR = 6;      //!< Write-to-read turnaround.
+    unsigned tRTRS = 2;     //!< Bus turnaround (read-to-write gap).
     unsigned tRTP = 6;      //!< Read to PRE.
     unsigned tWR = 12;      //!< Write recovery before PRE.
     unsigned tREFI = 6240;  //!< Refresh interval (7.8 us).
     unsigned tRFC = 208;    //!< Refresh cycle time (260 ns).
 
     Tick cycles(unsigned n) const { return tCkTicks * n; }
+
+    /**
+     * Data-bus idle time forced between a read burst and a following
+     * write burst. The earliest write CAS after a read CAS is
+     * CL + tBURST + tRTRS - CWL cycles later (JEDEC read-to-write
+     * spacing), so its data — CWL after the CAS — trails the end of
+     * the read burst (CL + tBURST after the read CAS) by exactly
+     * tRTRS. Distinct from tWTR, which constrains the *opposite*
+     * switch (write data to read CAS) and is longer because the write
+     * must reach the array before the bank can be read.
+     */
+    Tick readToWriteGap() const { return cycles(tRTRS); }
 };
 
 /** Row-buffer management policy. */

@@ -7,8 +7,9 @@
 namespace fp::obs
 {
 
-IntervalStats::IntervalStats(const std::string &path, Tick interval)
-    : interval_(interval)
+IntervalStats::IntervalStats(const std::string &path, Tick interval,
+                             const StatRegistry &registry)
+    : interval_(interval), registry_(registry)
 {
     fp_assert(interval_ > 0, "IntervalStats: zero interval");
     file_ = std::fopen(path.c_str(), "wb");
@@ -47,7 +48,7 @@ IntervalStats::sample(Tick now)
         return;
     JsonWriter w;
     w.beginObject().field("tick", Tick{now});
-    StatRegistry::instance().forEach(
+    registry_.forEach(
         [&w](const StatGroup &g) { g.writeJsonFields(w); });
     w.endObject();
     std::string line = w.str();

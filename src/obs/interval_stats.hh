@@ -1,7 +1,7 @@
 /**
  * @file
  * Periodic statistics sampling: every N simulated ticks, snapshot
- * every live StatGroup (via the global StatRegistry) into one line of
+ * every live StatGroup of one System's StatRegistry into one line of
  * JSON (JSON-lines format), producing time series of the quantities
  * the paper's claims live in — stash depth, label-queue occupancy,
  * overlap-length histogram, DRAM row-hit rate — without touching any
@@ -28,6 +28,11 @@
 #include "util/event_queue.hh"
 #include "util/types.hh"
 
+namespace fp
+{
+class StatRegistry;
+}
+
 namespace fp::obs
 {
 
@@ -37,8 +42,11 @@ class IntervalStats
     /**
      * @param path     Output file (created/truncated).
      * @param interval Sampling period in ticks (> 0).
+     * @param registry The stat registry to snapshot (the owning
+     *                 System's; must outlive this object).
      */
-    IntervalStats(const std::string &path, Tick interval);
+    IntervalStats(const std::string &path, Tick interval,
+                  const StatRegistry &registry);
     ~IntervalStats();
 
     IntervalStats(const IntervalStats &) = delete;
@@ -64,6 +72,7 @@ class IntervalStats
     void scheduleNext(EventQueue &eq);
 
     Tick interval_;
+    const StatRegistry &registry_;
     std::FILE *file_ = nullptr;
     std::function<bool()> keepGoing_;
     std::uint64_t samples_ = 0;

@@ -1,5 +1,7 @@
 #include "oram/stash.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace fp::oram
@@ -62,16 +64,24 @@ Stash::evictForBucket(LeafLabel path_label, unsigned level,
     std::vector<mem::Block> out;
     if (max_blocks == 0)
         return out;
-    out.reserve(max_blocks);
-    for (auto it = blocks_.begin(); it != blocks_.end();) {
-        if (geo_.canReside(it->second.leaf, path_label, level)) {
-            out.push_back(std::move(it->second));
-            it = blocks_.erase(it);
-            if (out.size() >= max_blocks)
-                break;
-        } else {
-            ++it;
-        }
+    // Candidate selection must not depend on unordered_map iteration
+    // order (which varies across standard libraries and across runs
+    // under ASLR-keyed hashing): pick eligible blocks in ascending
+    // address order so eviction — and everything downstream of it —
+    // is a pure function of the simulation state.
+    std::vector<BlockAddr> eligible;
+    for (const auto &kv : blocks_) {
+        if (geo_.canReside(kv.second.leaf, path_label, level))
+            eligible.push_back(kv.first);
+    }
+    std::sort(eligible.begin(), eligible.end());
+    if (eligible.size() > max_blocks)
+        eligible.resize(max_blocks);
+    out.reserve(eligible.size());
+    for (BlockAddr addr : eligible) {
+        auto it = blocks_.find(addr);
+        out.push_back(std::move(it->second));
+        blocks_.erase(it);
     }
     return out;
 }

@@ -49,6 +49,7 @@ toJson(const RunResult &r)
 {
     JsonWriter w;
     w.beginObject()
+        .field("hit_tick_limit", r.hitTickLimit)
         .field("execution_ticks", std::uint64_t{r.executionTicks})
         .field("avg_llc_latency_ns", r.avgLlcLatencyNs)
         .field("avg_read_path_len", r.avgReadPathLen)

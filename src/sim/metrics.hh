@@ -39,6 +39,10 @@ struct ControllerEnergyParams
 /** Everything a figure needs from one run. */
 struct RunResult
 {
+    /** The run stopped at the tick limit before every core finished;
+     *  all fields below describe the truncated prefix of the run. */
+    bool hitTickLimit = false;
+
     // Timing.
     Tick executionTicks = 0;      //!< Slowest core's finish time.
     double avgLlcLatencyNs = 0.0; //!< The paper's "ORAM latency".

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parallel sweep execution for the figure benches: a list of named
+ * simulation points (config + workload + tick limit) fanned out over
+ * a worker pool, with results collected in submission order.
+ *
+ * Determinism contract: each point runs in its own System (own
+ * EventQueue, own StatRegistry, own seeded Rngs), so a point's
+ * RunResult is a pure function of its SweepPoint regardless of which
+ * worker runs it or in what order points complete. `jobs == 1`
+ * executes the points inline on the calling thread, reproducing the
+ * sequential benches byte for byte; any other job count produces the
+ * same ordered results, just faster.
+ *
+ * Failure isolation: each worker installs ScopedRecoverableFailures,
+ * so a point that panics (fp_assert) or throws produces a SweepOutcome
+ * error record instead of killing the process and every other
+ * in-flight point.
+ */
+
+#ifndef FP_SIM_SWEEP_HH
+#define FP_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/sim_config.hh"
+#include "util/cli.hh"
+#include "workload/synthetic.hh"
+
+namespace fp::sim
+{
+
+/** One named simulation to run: everything a worker thread needs. */
+struct SweepPoint
+{
+    /** Display name (progress lines and error records). */
+    std::string name;
+    SimConfig cfg;
+    /** One profile per core (size must equal cfg.cores). */
+    std::vector<workload::WorkloadProfile> profiles;
+    /** Tick budget; exceeding it truncates (RunResult.hitTickLimit). */
+    Tick limit = maxTick;
+};
+
+/** Point from explicit per-core profiles. */
+SweepPoint pointFromProfiles(
+    std::string name, SimConfig cfg,
+    std::vector<workload::WorkloadProfile> profiles);
+
+/** Point from a Table 2 mix name ("Mix1".."Mix10"). */
+SweepPoint pointFromMix(std::string name, SimConfig cfg,
+                        const std::string &mix);
+
+/** Point from a PARSEC workload (cfg.cores threads, shared region). */
+SweepPoint pointFromParsec(std::string name, SimConfig cfg,
+                           const std::string &workload);
+
+/** What happened to one point. */
+struct SweepOutcome
+{
+    std::string name;
+    bool ok = false;
+    RunResult result;  //!< Valid iff ok.
+    std::string error; //!< Failure message iff !ok.
+};
+
+struct SweepOptions
+{
+    /** Worker threads; 0 means hardware concurrency. 1 runs the
+     *  points inline on the calling thread. */
+    unsigned jobs = 0;
+    /** Print a "[done/total] name" line to stderr per finished
+     *  point. */
+    bool progress = false;
+    /** Optional per-point completion hook, invoked serialized (under
+     *  a lock) with the outcome and completion counts. Must not
+     *  assume any particular completion order across points. */
+    std::function<void(const SweepOutcome &outcome, std::size_t done,
+                       std::size_t total)>
+        onPointDone;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opt = {});
+
+    /**
+     * Run every point; returns one outcome per point, in the order
+     * the points were given (independent of completion order).
+     */
+    std::vector<SweepOutcome> run(std::vector<SweepPoint> points);
+
+    /** Worker count actually used for a sweep of @p npoints. */
+    unsigned effectiveJobs(std::size_t npoints) const;
+
+    /** std::thread::hardware_concurrency, never 0. */
+    static unsigned hardwareJobs();
+
+  private:
+    SweepOptions opt_;
+};
+
+/**
+ * Build SweepOptions from the common bench flags: `--jobs=N`
+ * (default hardware concurrency) and progress-line printing on
+ * unless `--csv` asked for machine-clean output.
+ */
+SweepOptions sweepOptionsFromArgs(const CliArgs &args);
+
+} // namespace fp::sim
+
+#endif // FP_SIM_SWEEP_HH

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/logging.hh"
 
 namespace fp::sim
@@ -85,13 +86,24 @@ System::System(const SimConfig &cfg,
               "System: %zu profiles for %u cores", profiles.size(),
               cfg.cores);
 
+    // Every StatGroup constructed below registers with this System's
+    // registry, not a global one: the scope makes registry_ the
+    // thread's current registry for the duration of construction.
+    StatRegistry::Scope stat_scope(registry_);
+
+    // Debug lines from this System's components are prefixed with
+    // this event queue's clock (thread-local, so concurrent Systems
+    // on worker threads each see their own clock).
+    setDebugTickSource(eq_.nowPtr());
+
     if (cfg_.obs.traceEnabled()) {
         tracer_ = std::make_unique<obs::Tracer>(
             cfg_.obs.traceOut, cfg_.obs.traceLevel, eq_.nowPtr());
     }
     if (cfg_.obs.statsEnabled()) {
         intervalStats_ = std::make_unique<obs::IntervalStats>(
-            cfg_.obs.statsOut, cfg_.obs.statsIntervalTicks);
+            cfg_.obs.statsOut, cfg_.obs.statsIntervalTicks,
+            registry_);
     }
 
     dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
@@ -99,8 +111,12 @@ System::System(const SimConfig &cfg,
         dram_->setTracer(tracer_.get());
 
     if (cfg_.insecure) {
+        // The insecure baseline's MSHR-equivalent depth scales with
+        // the core count (per-core maxOutstanding each): 64 at the
+        // Table-1 default of 16 outstanding x 4 cores.
         sink_ = std::make_unique<InsecureSink>(
-            *dram_, cfg_.controller.blockPhysBytes, 64);
+            *dram_, cfg_.controller.blockPhysBytes,
+            std::size_t{cfg_.maxOutstanding} * cfg_.cores);
     } else {
         ctrl_ = std::make_unique<core::OramController>(
             cfg_.controller, eq_, *dram_);
@@ -130,7 +146,10 @@ System::System(const SimConfig &cfg,
     }
 }
 
-System::~System() = default;
+System::~System()
+{
+    clearDebugTickSource(eq_.nowPtr());
+}
 
 void
 System::printStats(std::ostream &os)
@@ -164,19 +183,31 @@ System::run(Tick limit)
         intervalStats_->start(eq_, [this] { return !allDone(); });
     }
 
+    bool hit_limit = false;
     while (!allDone()) {
-        fp_assert(eq_.now() <= limit,
-                  "simulation exceeded tick limit");
+        if (eq_.now() > limit) {
+            // Truncate rather than abort: the partial run is still a
+            // valid (if incomplete) measurement, and a sweep wants an
+            // answer for this point, not a dead process.
+            hit_limit = true;
+            break;
+        }
         bool progressed = eq_.step();
         fp_assert(progressed || allDone(),
                   "deadlock: no events but cores unfinished");
     }
 
     RunResult r;
+    r.hitTickLimit = hit_limit;
     for (const auto &core : cores_) {
         r.executionTicks = std::max(r.executionTicks,
                                     core->finishTick());
         r.llcRequests += core->issued();
+    }
+    if (hit_limit) {
+        // Unfinished cores report finishTick() == 0; the truncation
+        // point is the honest execution time.
+        r.executionTicks = std::max(r.executionTicks, eq_.now());
     }
 
     if (ctrl_) {

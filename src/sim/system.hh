@@ -18,6 +18,7 @@
 #include "sim/metrics.hh"
 #include "sim/sim_config.hh"
 #include "util/event_queue.hh"
+#include "util/stats.hh"
 #include "workload/core_model.hh"
 
 namespace fp::sim
@@ -36,8 +37,11 @@ class System
     ~System();
 
     /**
-     * Run to completion (every core finishes its request budget).
-     * @param limit Safety limit in ticks; exceeding it is fatal.
+     * Run until every core finishes its request budget, or until the
+     * event queue passes @p limit ticks. A truncated run returns a
+     * RunResult with hitTickLimit set (and executionTicks at the
+     * truncation point) rather than aborting, so sweeps can record
+     * the partial outcome and move on.
      */
     RunResult run(Tick limit = maxTick);
 
@@ -52,6 +56,9 @@ class System
     obs::Tracer *tracer() { return tracer_.get(); }
     /** Null unless cfg.obs.statsOut was set. */
     obs::IntervalStats *intervalStats() { return intervalStats_.get(); }
+    /** This system's statistics registry (instance-scoped so several
+     *  Systems can coexist, e.g. on sweep worker threads). */
+    const StatRegistry &statRegistry() const { return registry_; }
     const std::vector<std::unique_ptr<workload::CoreModel>> &
     cores() const
     {
@@ -65,6 +72,11 @@ class System
     bool allDone() const;
 
     SimConfig cfg_;
+    /** Must precede every stat-owning component: StatGroups capture
+     *  the thread's current registry at construction and deregister
+     *  from it on destruction, so the registry must be built first
+     *  and torn down last. */
+    StatRegistry registry_;
     EventQueue eq_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalStats> intervalStats_;

@@ -1,5 +1,7 @@
 #include "util/debug.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -11,8 +13,8 @@ namespace fp
 namespace
 {
 
-std::uint32_t enabledMask = 0;
-bool envParsed = false;
+std::atomic<std::uint32_t> enabledMask{0};
+std::atomic<bool> envParsed{false};
 
 std::uint32_t
 parseSpec(const std::string &spec)
@@ -44,14 +46,18 @@ parseSpec(const std::string &spec)
 void
 ensureEnvParsed()
 {
-    if (envParsed)
+    if (envParsed.load(std::memory_order_acquire))
         return;
-    envParsed = true;
+    // First caller parses; a racing second caller may briefly read a
+    // zero mask (a dropped debug line, never a data race).
+    if (envParsed.exchange(true))
+        return;
     const char *env = std::getenv("FP_DEBUG");
-    enabledMask = env ? parseSpec(env) : 0;
+    enabledMask.store(env ? parseSpec(env) : 0,
+                      std::memory_order_release);
 }
 
-const Tick *tickSource = nullptr;
+thread_local const Tick *tickSource = nullptr;
 
 const char *
 catName(DebugCat cat)
@@ -78,14 +84,15 @@ bool
 debugEnabled(DebugCat cat)
 {
     ensureEnvParsed();
-    return (enabledMask & static_cast<std::uint32_t>(cat)) != 0;
+    return (enabledMask.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(cat)) != 0;
 }
 
 void
 setDebugCategories(const std::string &spec)
 {
-    envParsed = true;
-    enabledMask = parseSpec(spec);
+    envParsed.store(true, std::memory_order_release);
+    enabledMask.store(parseSpec(spec), std::memory_order_release);
 }
 
 void
@@ -95,20 +102,38 @@ setDebugTickSource(const Tick *now)
 }
 
 void
+clearDebugTickSource(const Tick *now)
+{
+    if (tickSource == now)
+        tickSource = nullptr;
+}
+
+void
 debugPrintf(DebugCat cat, const char *fmt, ...)
 {
+    char line[1024];
+    int off = 0;
     if (tickSource) {
-        std::fprintf(stderr, "%12llu: %s: ",
-                     static_cast<unsigned long long>(*tickSource),
-                     catName(cat));
+        off = std::snprintf(line, sizeof(line), "%12llu: %s: ",
+                            static_cast<unsigned long long>(
+                                *tickSource),
+                            catName(cat));
     } else {
-        std::fprintf(stderr, "%s: ", catName(cat));
+        off = std::snprintf(line, sizeof(line), "%s: ", catName(cat));
     }
+    if (off < 0)
+        off = 0;
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    int n = std::vsnprintf(line + off,
+                           sizeof(line) - static_cast<size_t>(off) - 1,
+                           fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
+    std::size_t len = static_cast<size_t>(off) +
+                      (n > 0 ? static_cast<size_t>(n) : 0);
+    len = std::min(len, sizeof(line) - 2);
+    line[len] = '\n';
+    std::fwrite(line, 1, len + 1, stderr);
 }
 
 } // namespace fp

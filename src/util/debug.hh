@@ -7,6 +7,14 @@
  * programmatically with setDebugCategories(). Each line is prefixed
  * with the current simulated tick when an event queue is attached.
  *
+ * The tick source is thread-local: concurrent Systems (one per sweep
+ * worker thread) each attach their own clock without interfering.
+ * Whoever attaches a clock must detach it (clearDebugTickSource)
+ * before the clock dies, or a later trace line would read freed
+ * memory. Each trace line is formatted into one buffer and written
+ * with a single stdio call so lines from different threads never
+ * interleave mid-line.
+ *
  * The macro costs one predicted-false branch when the category is
  * off, so trace points can stay in hot paths permanently.
  */
@@ -40,8 +48,13 @@ bool debugEnabled(DebugCat cat);
 /** Replace the enabled set, e.g. "oram,sched" or "all" or "". */
 void setDebugCategories(const std::string &spec);
 
-/** Attach a tick source so trace lines carry simulated time. */
+/** Attach a tick source (thread-local) so this thread's trace lines
+ *  carry simulated time. */
 void setDebugTickSource(const Tick *now);
+
+/** Detach the tick source iff it is still @p now (so a System tearing
+ *  down cannot clobber a source attached after it). */
+void clearDebugTickSource(const Tick *now);
 
 /** Emit one trace line (printf-style). Prefer the macro. */
 void debugPrintf(DebugCat cat, const char *fmt, ...)

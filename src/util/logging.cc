@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,7 +11,8 @@ namespace fp
 namespace
 {
 
-bool verboseEnabled = true;
+std::atomic<bool> verboseEnabled{true};
+thread_local bool recoverableFailures = false;
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -28,6 +30,23 @@ vstrprintf(const char *fmt, va_list ap)
 
 } // anonymous namespace
 
+ScopedRecoverableFailures::ScopedRecoverableFailures()
+    : prev_(recoverableFailures)
+{
+    recoverableFailures = true;
+}
+
+ScopedRecoverableFailures::~ScopedRecoverableFailures()
+{
+    recoverableFailures = prev_;
+}
+
+bool
+recoverableFailuresEnabled()
+{
+    return recoverableFailures;
+}
+
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
@@ -35,7 +54,11 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::string full =
+        strprintf("panic: %s (%s:%d)", msg.c_str(), file, line);
+    if (recoverableFailures)
+        throw SimFailure(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
     std::abort();
 }
 
@@ -46,7 +69,11 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::string full =
+        strprintf("fatal: %s (%s:%d)", msg.c_str(), file, line);
+    if (recoverableFailures)
+        throw SimFailure(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
     std::exit(1);
 }
 

@@ -17,10 +17,46 @@
 #define FP_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace fp
 {
+
+/**
+ * Thrown by panic()/fatal() instead of terminating the process while
+ * a ScopedRecoverableFailures guard is live on the calling thread.
+ * Carries the formatted message including the source location.
+ */
+class SimFailure : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive, fp_assert/fp_panic/fp_fatal on this thread
+ * throw SimFailure instead of abort()/exit(1). Sweep workers install
+ * one per point so a failing configuration produces an error record
+ * instead of killing every other in-flight run. Guards nest; the
+ * previous mode is restored on destruction.
+ */
+class ScopedRecoverableFailures
+{
+  public:
+    ScopedRecoverableFailures();
+    ~ScopedRecoverableFailures();
+    ScopedRecoverableFailures(const ScopedRecoverableFailures &) =
+        delete;
+    ScopedRecoverableFailures &
+    operator=(const ScopedRecoverableFailures &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** True iff failures on this thread currently throw SimFailure. */
+bool recoverableFailuresEnabled();
 
 /** Print "panic: ..." with source location and abort(). */
 [[noreturn]] void panicImpl(const char *file, int line,

@@ -93,14 +93,20 @@ Histogram::reset()
     avg_.reset();
 }
 
-StatGroup::StatGroup(std::string name) : name_(std::move(name))
+StatGroup::StatGroup(std::string name)
+    : name_(std::move(name)), registry_(StatRegistry::current())
 {
-    StatRegistry::instance().add(this);
+    // The registry is captured at construction so the group
+    // unregisters from the same place even if the thread's current
+    // registry changes before destruction.
+    if (registry_)
+        registry_->add(this);
 }
 
 StatGroup::~StatGroup()
 {
-    StatRegistry::instance().remove(this);
+    if (registry_)
+        registry_->remove(this);
 }
 
 void
@@ -204,11 +210,25 @@ StatGroup::writeJsonFields(JsonWriter &w) const
     }
 }
 
-StatRegistry &
-StatRegistry::instance()
+namespace
 {
-    static StatRegistry reg;
-    return reg;
+thread_local StatRegistry *currentRegistry = nullptr;
+} // anonymous namespace
+
+StatRegistry *
+StatRegistry::current()
+{
+    return currentRegistry;
+}
+
+StatRegistry::Scope::Scope(StatRegistry &reg) : prev_(currentRegistry)
+{
+    currentRegistry = &reg;
+}
+
+StatRegistry::Scope::~Scope()
+{
+    currentRegistry = prev_;
 }
 
 void

@@ -8,9 +8,12 @@
  * Every component of the simulator owns a StatGroup; the experiment
  * runner collects the numbers it needs for a figure directly via the
  * typed accessors (no string lookups on the hot path). Groups
- * additionally self-register in a process-global StatRegistry so the
+ * additionally self-register in the *current* StatRegistry — an
+ * instance installed on this thread via StatRegistry::Scope — so the
  * observability layer (obs::IntervalStats) can snapshot every live
- * component without explicit wiring.
+ * component without explicit wiring. There is deliberately no
+ * process-global registry: each sim::System owns one, which is what
+ * lets many Systems run concurrently without sharing mutable state.
  */
 
 #ifndef FP_UTIL_STATS_HH
@@ -104,8 +107,9 @@ class Histogram
  * stored callables sampling instantaneous state (queue depth, stash
  * occupancy) at render time.
  *
- * Every live group is listed in StatRegistry; groups are therefore
- * deliberately non-copyable (a copy would double-register).
+ * Every live group is listed in the registry that was current on the
+ * constructing thread (if any); groups are therefore deliberately
+ * non-copyable (a copy would double-register).
  */
 class StatGroup
 {
@@ -149,18 +153,29 @@ class StatGroup
     };
 
     std::string name_;
+    class StatRegistry *registry_ = nullptr;
     std::vector<Entry> entries_;
 };
 
 /**
- * Process-global list of live StatGroups, in construction order.
- * Construction order is deterministic for a given configuration, so
- * snapshots built from the registry are reproducible run-to-run.
+ * List of live StatGroups, in construction order. Construction order
+ * is deterministic for a given configuration, so snapshots built from
+ * the registry are reproducible run-to-run.
+ *
+ * A registry is an ordinary instance (typically owned by one
+ * sim::System). Groups find it through a thread-local "current
+ * registry" pointer installed with StatRegistry::Scope around the
+ * construction of the components whose stats it should collect; that
+ * keeps registration implicit (no registry parameter threaded through
+ * every component constructor) while giving concurrent Systems fully
+ * disjoint registries.
  */
 class StatRegistry
 {
   public:
-    static StatRegistry &instance();
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
 
     void add(StatGroup *g);
     void remove(StatGroup *g);
@@ -169,6 +184,26 @@ class StatRegistry
     void forEach(const std::function<void(const StatGroup &)> &fn) const;
 
     std::size_t size() const { return groups_.size(); }
+
+    /** The registry StatGroups on this thread register into (may be
+     *  null: groups constructed outside any Scope go unlisted). */
+    static StatRegistry *current();
+
+    /**
+     * RAII installer: makes @p reg the current registry for this
+     * thread, restoring the previous one on destruction. Scopes nest.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(StatRegistry &reg);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StatRegistry *prev_;
+    };
 
   private:
     std::vector<StatGroup *> groups_;

@@ -66,6 +66,65 @@ TEST(LabelQueue, HasSpaceForReal)
     EXPECT_TRUE(q2.hasSpaceForReal()); // dummies are replaceable
 }
 
+TEST(LabelQueue, OverflowDrainsBackToCapacity)
+{
+    // Regression: recursion-chain spawns insert with allow_overflow
+    // while the queue is padded full of reals; the over-capacity
+    // entry must not become permanent.
+    auto q = makeQueue(4);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.insertReal(i, i + 1));
+    EXPECT_FALSE(q.hasSpaceForReal());
+    EXPECT_TRUE(q.insertReal(4, 5, /*allow_overflow=*/true));
+    EXPECT_EQ(q.size(), 5u);
+
+    // Over capacity: no space even though ensureFull could add
+    // dummies, and padding must not grow the queue further.
+    EXPECT_FALSE(q.hasSpaceForReal());
+    q.ensureFull();
+    EXPECT_EQ(q.size(), 5u); // all real, nothing to shed yet
+
+    // Drain one real; the queue is back at capacity, all real.
+    ASSERT_TRUE(q.selectNext(0).has_value());
+    EXPECT_EQ(q.size(), 4u);
+    q.ensureFull();
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_FALSE(q.hasSpaceForReal()); // full of reals again
+
+    // Drain another: padding replaces it and space is back.
+    ASSERT_TRUE(q.selectNext(0).has_value());
+    q.ensureFull();
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.realCount(), 3u);
+    EXPECT_TRUE(q.hasSpaceForReal());
+}
+
+TEST(LabelQueue, OverflowedDummiesAreShedOnEnsureFull)
+{
+    // Overflow while dummies are present (chain spawn raced ahead of
+    // padding): ensureFull drops excess dummies, never reals.
+    auto q = makeQueue(3);
+    q.ensureFull();
+    EXPECT_TRUE(q.insertReal(0, 1));
+    EXPECT_TRUE(q.insertReal(1, 2));
+    EXPECT_TRUE(q.insertReal(2, 3));
+    // 3 reals at capacity 3; force two overflow inserts.
+    EXPECT_TRUE(q.insertReal(3, 4, /*allow_overflow=*/true));
+    EXPECT_TRUE(q.insertReal(4, 5, /*allow_overflow=*/true));
+    EXPECT_EQ(q.size(), 5u);
+    ASSERT_TRUE(q.selectNext(0).has_value()); // one real leaves
+    q.ensureFull();
+    // 4 reals remain, still one over capacity; nothing to shed.
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.realCount(), 4u);
+    ASSERT_TRUE(q.selectNext(0).has_value());
+    ASSERT_TRUE(q.selectNext(0).has_value());
+    q.ensureFull();
+    // Back under capacity: padded to exactly 3, reals preserved.
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.realCount(), 2u);
+}
+
 TEST(LabelQueue, SelectsMaxOverlap)
 {
     auto q = makeQueue(4);

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "oram/path_oram.hh"
+#include "oram/stash.hh"
 #include "oram/treetop_cache.hh"
 #include "util/random.hh"
 
@@ -357,6 +359,59 @@ TEST(TreetopCache, BudgetBeyondTree)
     mem::TreeGeometry geo(3);
     TreetopCache cache(geo, 256, 1 << 20);
     EXPECT_EQ(cache.numCachedLevels(), geo.numLevels());
+}
+
+TEST(Stash, EvictionSelectsCandidatesInAddressOrder)
+{
+    // Eviction must not depend on unordered_map iteration order:
+    // with more eligible blocks than slots, the lowest addresses win,
+    // regardless of insertion order.
+    mem::TreeGeometry geo(6);
+    Stash stash(geo, 200);
+    // All blocks mapped to leaf 0 are eligible for level 0 (root) of
+    // any path. Insert in a scrambled order.
+    for (BlockAddr addr : {41u, 7u, 23u, 3u, 55u, 12u}) {
+        mem::Block b;
+        b.addr = addr;
+        b.leaf = 0;
+        stash.insert(std::move(b));
+    }
+    auto evicted = stash.evictForBucket(/*path_label=*/0,
+                                        /*level=*/0,
+                                        /*max_blocks=*/4);
+    ASSERT_EQ(evicted.size(), 4u);
+    EXPECT_EQ(evicted[0].addr, 3u);
+    EXPECT_EQ(evicted[1].addr, 7u);
+    EXPECT_EQ(evicted[2].addr, 12u);
+    EXPECT_EQ(evicted[3].addr, 23u);
+    // The two highest addresses stay behind.
+    EXPECT_TRUE(stash.contains(41));
+    EXPECT_TRUE(stash.contains(55));
+}
+
+TEST(Stash, EvictionIsInsertionOrderIndependent)
+{
+    mem::TreeGeometry geo(6);
+    std::vector<BlockAddr> addrs = {9, 2, 31, 17, 5, 44, 28, 1};
+    auto evict = [&](const std::vector<BlockAddr> &order) {
+        Stash stash(geo, 200);
+        for (BlockAddr a : order) {
+            mem::Block b;
+            b.addr = a;
+            b.leaf = 0;
+            stash.insert(std::move(b));
+        }
+        std::vector<BlockAddr> out;
+        for (const auto &b : stash.evictForBucket(0, 0, 5))
+            out.push_back(b.addr);
+        return out;
+    };
+    auto forward = evict(addrs);
+    std::reverse(addrs.begin(), addrs.end());
+    auto backward = evict(addrs);
+    EXPECT_EQ(forward, backward);
+    EXPECT_EQ(forward,
+              (std::vector<BlockAddr>{1, 2, 5, 9, 17}));
 }
 
 } // anonymous namespace

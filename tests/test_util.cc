@@ -303,19 +303,47 @@ TEST(Stats, GaugeSamplesAtRenderTime)
 
 TEST(Stats, RegistryTracksLiveGroups)
 {
-    std::size_t before = StatRegistry::instance().size();
+    StatRegistry reg;
+    StatRegistry::Scope scope(reg);
+    EXPECT_EQ(reg.size(), 0u);
     {
         StatGroup g1("reg_a"), g2("reg_b");
-        EXPECT_EQ(StatRegistry::instance().size(), before + 2);
+        EXPECT_EQ(reg.size(), 2u);
         bool saw_a = false, saw_b = false;
-        StatRegistry::instance().forEach([&](const StatGroup &g) {
+        reg.forEach([&](const StatGroup &g) {
             saw_a = saw_a || g.name() == "reg_a";
             saw_b = saw_b || g.name() == "reg_b";
         });
         EXPECT_TRUE(saw_a);
         EXPECT_TRUE(saw_b);
     }
-    EXPECT_EQ(StatRegistry::instance().size(), before);
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Stats, GroupsOutsideAnyScopeAreUnregistered)
+{
+    EXPECT_EQ(StatRegistry::current(), nullptr);
+    StatGroup g("scopeless");
+    StatRegistry reg;
+    StatRegistry::Scope scope(reg);
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Stats, ScopesNestAndRestore)
+{
+    StatRegistry outer_reg;
+    StatRegistry::Scope outer(outer_reg);
+    StatGroup g_outer("nest_outer");
+    {
+        StatRegistry inner_reg;
+        StatRegistry::Scope inner(inner_reg);
+        StatGroup g_inner("nest_inner");
+        EXPECT_EQ(inner_reg.size(), 1u);
+        EXPECT_EQ(outer_reg.size(), 1u);
+    }
+    EXPECT_EQ(StatRegistry::current(), &outer_reg);
+    StatGroup g_again("nest_again");
+    EXPECT_EQ(outer_reg.size(), 2u);
 }
 
 TEST(Stats, WriteJsonFieldsRoundTrips)
