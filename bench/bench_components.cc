@@ -1,217 +1,325 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the building blocks: tree
- * geometry, stash eviction selection, label-queue scheduling, MAC
- * insert/extract, SPECK encryption, the functional Path ORAM access
- * and the DRAM channel model. These quantify simulator throughput
+ * Microbenchmarks of the building blocks: tree geometry, stash
+ * eviction selection, label-queue scheduling, MAC insert/extract,
+ * SPECK encryption, the functional Path ORAM access and the DRAM and
+ * network backend models. These quantify simulator throughput
  * (host-side cost), not simulated time.
+ *
+ * Self-contained timing harness (no external benchmark library):
+ * each micro is a SweepRunner task that sets up its component, then
+ * grows the iteration count until the timed batch exceeds --min-ms
+ * of wall clock and reports ns/op. Table structure and row order are
+ * stable; the timing columns are host-dependent by nature. --jobs>1
+ * times micros concurrently — faster, but expect more noise than the
+ * default sequential run.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <vector>
 
 #include "core/label_queue.hh"
 #include "core/merging_cache.hh"
 #include "core/plb.hh"
 #include "crypto/counter_mode.hh"
 #include "dram/dram_system.hh"
+#include "fig_common.hh"
+#include "mem/net_backend.hh"
 #include "mem/tree_geometry.hh"
 #include "oram/integrity.hh"
 #include "oram/path_oram.hh"
 #include "oram/stash.hh"
 #include "sim/metrics.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
+
+using namespace fp;
+using namespace fp::bench;
 
 namespace
 {
 
-void
-BM_GeometryOverlap(benchmark::State &state)
+/** Keep a computed value alive past the optimizer. */
+template <typename T>
+inline void
+keep(const T &value)
 {
-    fp::mem::TreeGeometry geo(24);
-    fp::Rng rng(1);
-    fp::LeafLabel a = rng.uniformInt(geo.numLeaves());
-    fp::LeafLabel b = rng.uniformInt(geo.numLeaves());
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(geo.overlap(a, b));
-        a = (a + 0x9e37) & (geo.numLeaves() - 1);
-        b = (b + 0x79b9) & (geo.numLeaves() - 1);
+    asm volatile("" : : "g"(&value) : "memory");
+}
+
+struct MicroResult
+{
+    double nsPerOp = 0.0;
+    std::uint64_t iters = 0;
+};
+
+/**
+ * Time run_n(n) with n growing until one batch takes at least
+ * @p min_ms of wall clock; ns/op comes from that final batch alone,
+ * so earlier (cold) batches only serve as warm-up.
+ */
+MicroResult
+measure(double min_ms, const std::function<void(std::uint64_t)> &run_n)
+{
+    run_n(1); // warm-up: first-touch allocations, code paths
+    const double min_ns = min_ms * 1e6;
+    std::uint64_t n = 1;
+    for (;;) {
+        auto t0 = std::chrono::steady_clock::now();
+        run_n(n);
+        std::chrono::duration<double, std::nano> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (dt.count() >= min_ns || n >= (std::uint64_t{1} << 40))
+            return {dt.count() / static_cast<double>(n), n};
+        // Aim 40% past the threshold to converge in ~one retry.
+        double grow = min_ns / std::max(dt.count(), 1.0) * 1.4;
+        n = std::max(n + 1, static_cast<std::uint64_t>(
+                                static_cast<double>(n) * grow));
     }
 }
-BENCHMARK(BM_GeometryOverlap);
 
-void
-BM_StashEvictForBucket(benchmark::State &state)
+struct Micro
 {
-    fp::mem::TreeGeometry geo(24);
-    fp::oram::Stash stash(geo, 4096);
-    fp::Rng rng(2);
-    const auto n = static_cast<std::uint64_t>(state.range(0));
-    for (std::uint64_t i = 0; i < n; ++i) {
-        stash.insert(fp::mem::Block(
-            i, rng.uniformInt(geo.numLeaves())));
-    }
-    fp::LeafLabel path = rng.uniformInt(geo.numLeaves());
-    for (auto _ : state) {
-        auto evicted = stash.evictForBucket(path, 2, 4);
-        for (auto &blk : evicted)
-            stash.insert(std::move(blk)); // restore
-        benchmark::DoNotOptimize(evicted);
-    }
-}
-BENCHMARK(BM_StashEvictForBucket)->Arg(50)->Arg(200)->Arg(1000);
+    std::string name;
+    std::function<MicroResult(double min_ms)> run;
+};
 
-void
-BM_LabelQueueSelect(benchmark::State &state)
+std::vector<Micro>
+buildMicros()
 {
-    fp::mem::TreeGeometry geo(24);
-    const auto q = static_cast<std::size_t>(state.range(0));
-    fp::core::LabelQueue queue(geo, q, 4,
-                               fp::core::DummySelectPolicy::compete,
-                               3);
-    fp::Rng rng(4);
-    for (auto _ : state) {
-        queue.ensureFull();
-        auto sel =
-            queue.selectNext(rng.uniformInt(geo.numLeaves()));
-        benchmark::DoNotOptimize(sel);
-    }
-}
-BENCHMARK(BM_LabelQueueSelect)->Arg(8)->Arg(64)->Arg(128);
+    std::vector<Micro> micros;
 
-void
-BM_MacInsertExtract(benchmark::State &state)
-{
-    fp::mem::TreeGeometry geo(24);
-    fp::core::MergingCacheParams params;
-    params.m1 = 9;
-    params.budgetBytes = 1 << 20;
-    fp::core::MergingAwareCache mac(geo, params);
-    fp::Rng rng(5);
-    for (auto _ : state) {
-        unsigned level = 9 + rng.uniformInt(3);
-        std::uint64_t offset =
-            rng.uniformInt(std::uint64_t{1} << level);
-        fp::BucketIndex idx =
-            ((std::uint64_t{1} << level) - 1) + offset;
-        mac.insert(idx, fp::mem::Bucket(4));
-        benchmark::DoNotOptimize(mac.extract(idx));
-    }
-}
-BENCHMARK(BM_MacInsertExtract);
+    micros.push_back({"geometry_overlap", [](double min_ms) {
+        mem::TreeGeometry geo(24);
+        Rng rng(1);
+        LeafLabel a = rng.uniformInt(geo.numLeaves());
+        LeafLabel b = rng.uniformInt(geo.numLeaves());
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                keep(geo.overlap(a, b));
+                a = (a + 0x9e37) & (geo.numLeaves() - 1);
+                b = (b + 0x79b9) & (geo.numLeaves() - 1);
+            }
+        });
+    }});
 
-void
-BM_SpeckEncrypt64B(benchmark::State &state)
-{
-    fp::crypto::CounterModeCipher cipher(7);
-    std::vector<std::uint8_t> block(64, 0x5A);
-    std::uint64_t nonce = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cipher.encrypt(block, ++nonce));
+    for (std::uint64_t occupancy : {50u, 200u, 1000u}) {
+        micros.push_back({"stash_evict/" + std::to_string(occupancy),
+                          [occupancy](double min_ms) {
+            mem::TreeGeometry geo(24);
+            oram::Stash stash(geo, 4096);
+            Rng rng(2);
+            for (std::uint64_t i = 0; i < occupancy; ++i) {
+                stash.insert(
+                    mem::Block(i, rng.uniformInt(geo.numLeaves())));
+            }
+            LeafLabel path = rng.uniformInt(geo.numLeaves());
+            return measure(min_ms, [&](std::uint64_t n) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    auto evicted = stash.evictForBucket(path, 2, 4);
+                    for (auto &blk : evicted)
+                        stash.insert(std::move(blk)); // restore
+                    keep(evicted);
+                }
+            });
+        }});
     }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_SpeckEncrypt64B);
 
-void
-BM_PathOramAccess(benchmark::State &state)
-{
-    fp::oram::OramParams params;
-    params.leafLevel = static_cast<unsigned>(state.range(0));
-    params.payloadBytes = 0;
-    fp::oram::PathOram oram(params);
-    fp::Rng rng(6);
-    for (auto _ : state)
-        oram.read(rng.uniformInt(4096));
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_PathOramAccess)->Arg(12)->Arg(18)->Arg(24);
-
-void
-BM_DramTransaction(benchmark::State &state)
-{
-    fp::EventQueue eq;
-    fp::dram::DramSystem dram(fp::dram::DramParams::ddr3_1600(2),
-                              eq);
-    fp::Rng rng(7);
-    for (auto _ : state) {
-        fp::dram::DramRequest req;
-        req.addr = rng.uniformInt(1ULL << 30) & ~63ULL;
-        req.isWrite = rng.chance(0.5);
-        req.bursts = 4;
-        bool done = false;
-        req.onComplete = [&done](fp::Tick) { done = true; };
-        dram.access(std::move(req));
-        eq.run();
-        benchmark::DoNotOptimize(done);
+    for (std::size_t q : {8u, 64u, 128u}) {
+        micros.push_back({"label_queue_select/" + std::to_string(q),
+                          [q](double min_ms) {
+            mem::TreeGeometry geo(24);
+            core::LabelQueue queue(
+                geo, q, 4, core::DummySelectPolicy::compete, 3);
+            Rng rng(4);
+            return measure(min_ms, [&](std::uint64_t n) {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    queue.ensureFull();
+                    keep(queue.selectNext(
+                        rng.uniformInt(geo.numLeaves())));
+                }
+            });
+        }});
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_DramTransaction);
 
-void
-BM_MerkleUpdateSlice(benchmark::State &state)
-{
-    fp::mem::TreeGeometry geo(24);
-    fp::oram::MerkleTree tree(geo, 9);
-    fp::Rng rng(8);
-    std::vector<fp::mem::Bucket> slice(geo.numLevels() - 7,
-                                       fp::mem::Bucket(4));
-    for (auto _ : state) {
-        tree.updateSlice(rng.uniformInt(geo.numLeaves()), 7, slice);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_MerkleUpdateSlice);
+    micros.push_back({"mac_insert_extract", [](double min_ms) {
+        mem::TreeGeometry geo(24);
+        core::MergingCacheParams params;
+        params.m1 = 9;
+        params.budgetBytes = 1 << 20;
+        core::MergingAwareCache mac(geo, params);
+        Rng rng(5);
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                unsigned level = 9 + rng.uniformInt(3);
+                std::uint64_t offset =
+                    rng.uniformInt(std::uint64_t{1} << level);
+                BucketIndex idx =
+                    ((std::uint64_t{1} << level) - 1) + offset;
+                mac.insert(idx, mem::Bucket(4));
+                keep(mac.extract(idx));
+            }
+        });
+    }});
 
-void
-BM_PlbLookup(benchmark::State &state)
-{
-    fp::core::PosmapLookasideBuffer plb(3, 8, 4096);
-    fp::Rng rng(9);
-    for (std::uint64_t a = 0; a < 4096; ++a) {
-        plb.fill(a, 0);
-        plb.fill(a, 1);
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            plb.lookupChainStart(rng.uniformInt(8192)));
-    }
-}
-BENCHMARK(BM_PlbLookup);
+    micros.push_back({"speck_encrypt_64B", [](double min_ms) {
+        crypto::CounterModeCipher cipher(7);
+        std::vector<std::uint8_t> block(64, 0x5A);
+        std::uint64_t nonce = 0;
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i)
+                keep(cipher.encrypt(block, ++nonce));
+        });
+    }});
 
-void
-BM_EventQueueChurn(benchmark::State &state)
-{
-    for (auto _ : state) {
-        fp::EventQueue eq;
-        int fired = 0;
-        for (int i = 0; i < 1000; ++i) {
-            eq.schedule(static_cast<fp::Tick>((i * 37) % 997),
-                        [&fired] { ++fired; });
+    for (unsigned leaf : {12u, 18u, 24u}) {
+        micros.push_back({"path_oram_access/" + std::to_string(leaf),
+                          [leaf](double min_ms) {
+            oram::OramParams params;
+            params.leafLevel = leaf;
+            params.payloadBytes = 0;
+            oram::PathOram oram(params);
+            Rng rng(6);
+            return measure(min_ms, [&](std::uint64_t n) {
+                for (std::uint64_t i = 0; i < n; ++i)
+                    oram.read(rng.uniformInt(4096));
+            });
+        }});
+    }
+
+    micros.push_back({"dram_transaction", [](double min_ms) {
+        EventQueue eq;
+        dram::DramSystem dram(sim::SimConfig::defaultDram(), eq);
+        Rng rng(7);
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                dram::DramRequest req;
+                req.addr = rng.uniformInt(1ULL << 30) & ~63ULL;
+                req.isWrite = rng.chance(0.5);
+                req.bursts = 4;
+                bool done = false;
+                req.onComplete = [&done](Tick) { done = true; };
+                dram.access(std::move(req));
+                eq.run();
+                keep(done);
+            }
+        });
+    }});
+
+    micros.push_back({"net_transaction", [](double min_ms) {
+        EventQueue eq;
+        mem::NetBackend net(mem::NetBackendParams{}, eq);
+        Rng rng(7);
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                mem::BackendRequest req;
+                req.addr = rng.uniformInt(1ULL << 30) & ~63ULL;
+                req.isWrite = rng.chance(0.5);
+                req.bytes = 256;
+                bool done = false;
+                req.onComplete = [&done](Tick) { done = true; };
+                net.access(std::move(req));
+                eq.run();
+                keep(done);
+            }
+        });
+    }});
+
+    micros.push_back({"merkle_update_slice", [](double min_ms) {
+        mem::TreeGeometry geo(24);
+        oram::MerkleTree tree(geo, 9);
+        Rng rng(8);
+        std::vector<mem::Bucket> slice(geo.numLevels() - 7,
+                                       mem::Bucket(4));
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                tree.updateSlice(rng.uniformInt(geo.numLeaves()), 7,
+                                 slice);
+            }
+        });
+    }});
+
+    micros.push_back({"plb_lookup", [](double min_ms) {
+        core::PosmapLookasideBuffer plb(3, 8, 4096);
+        Rng rng(9);
+        for (std::uint64_t a = 0; a < 4096; ++a) {
+            plb.fill(a, 0);
+            plb.fill(a, 1);
         }
-        eq.run();
-        benchmark::DoNotOptimize(fired);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 1000);
-}
-BENCHMARK(BM_EventQueueChurn);
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                keep(plb.lookupChainStart(rng.uniformInt(8192)));
+            }
+        });
+    }});
 
-void
-BM_JsonRunResult(benchmark::State &state)
-{
-    fp::sim::RunResult r;
-    r.avgLlcLatencyNs = 1234.5;
-    r.realAccesses = 99999;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(fp::sim::toJson(r));
+    micros.push_back({"event_queue_churn_1k", [](double min_ms) {
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                EventQueue eq;
+                int fired = 0;
+                for (int e = 0; e < 1000; ++e) {
+                    eq.schedule(static_cast<Tick>((e * 37) % 997),
+                                [&fired] { ++fired; });
+                }
+                eq.run();
+                keep(fired);
+            }
+        });
+    }});
+
+    micros.push_back({"json_run_result", [](double min_ms) {
+        sim::RunResult r;
+        r.avgLlcLatencyNs = 1234.5;
+        r.realAccesses = 99999;
+        return measure(min_ms, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i)
+                keep(sim::toJson(r));
+        });
+    }});
+
+    return micros;
 }
-BENCHMARK(BM_JsonRunResult);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const double min_ms = args.getDouble("min-ms", 20.0);
+    BenchOptions opt = parseOptions(args);
+
+    banner("Component microbenchmarks (host-side cost)",
+           "n/a — these measure simulator throughput, not a paper "
+           "figure");
+
+    auto micros = buildMicros();
+    std::vector<MicroResult> results(micros.size());
+    std::vector<sim::SweepTask> tasks;
+    tasks.reserve(micros.size());
+    for (std::size_t i = 0; i < micros.size(); ++i) {
+        tasks.push_back({micros[i].name, [&, i] {
+            results[i] = micros[i].run(min_ms);
+        }});
+    }
+
+    sim::SweepRunner runner(opt.sweep);
+    for (const auto &out : runner.runTasks(std::move(tasks))) {
+        if (!out.ok)
+            fp_fatal("micro '%s' failed: %s", out.name.c_str(),
+                     out.error.c_str());
+    }
+
+    TextTable table("component cost per operation");
+    table.setHeader({"component", "ns_per_op", "mops_per_s",
+                     "timed_iters"});
+    for (std::size_t i = 0; i < micros.size(); ++i) {
+        const MicroResult &r = results[i];
+        table.addRow({micros[i].name, TextTable::fmt(r.nsPerOp, 1),
+                      TextTable::fmt(1e3 / r.nsPerOp, 2),
+                      TextTable::fmt(r.iters)});
+    }
+    emit(table);
+    return 0;
+}

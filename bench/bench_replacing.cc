@@ -10,9 +10,20 @@
  * fraction of arrivals that replaced the committed dummy and the
  * request's latency — making the paper's t1-t2 window directly
  * visible.
+ *
+ * Each offset band is one SweepRunner task (--jobs); every trial
+ * seeds its own Rng(t * 31 + offset_ns), so rows — emitted in offset
+ * order afterwards — are byte-identical at any job count. Honours
+ * --backend=net to probe the window against the network store model.
  */
 
+#include <memory>
+
+#include "dram/dram_backend.hh"
+#include "dram/dram_system.hh"
 #include "fig_common.hh"
+#include "mem/net_backend.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 using namespace fp;
@@ -26,7 +37,7 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getInt("trials", 200));
     const auto leaf =
         static_cast<unsigned>(args.getInt("leaf-level", 16));
-    (void)parseOptions(args); // honours --csv
+    BenchOptions opt = parseOptions(args);
 
     banner("Dummy label replacing window (Section 3.3)",
            "a real request arriving before the refill passes the "
@@ -45,48 +56,77 @@ main(int argc, char **argv)
 
     // Offset is measured from the completion of the priming access's
     // *read* phase: its write phase (the replacement window) follows.
-    for (Tick offset_ns : {0u, 100u, 200u, 400u, 800u, 1600u,
-                           3200u, 6400u}) {
-        unsigned replaced = 0;
-        double latency_sum = 0.0;
-        for (unsigned t = 0; t < trials; ++t) {
-            EventQueue eq;
-            dram::DramSystem dram(dram::DramParams::ddr3_1600(2),
-                                  eq);
-            auto p = params;
-            p.oram.seed += t * 7919;
-            core::OramController ctrl(p, eq, dram);
-            Rng rng(t * 31 + offset_ns);
+    const std::vector<Tick> offsets{0u,   100u,  200u,  400u,
+                                    800u, 1600u, 3200u, 6400u};
+    std::vector<std::vector<std::string>> rows(offsets.size());
 
-            // Prime: one access whose refill will commit a dummy.
-            bool primed = false;
-            ctrl.request(oram::Op::read, rng.uniformInt(1 << 12),
-                         {},
-                         [&](Tick, const auto &) { primed = true; });
-            eq.runWhile([&] { return !primed; });
+    std::vector<sim::SweepTask> tasks;
+    for (std::size_t band = 0; band < offsets.size(); ++band) {
+        const Tick offset_ns = offsets[band];
+        tasks.push_back({"offset=" + std::to_string(offset_ns) + "ns",
+                         [&, band, offset_ns] {
+            unsigned replaced = 0;
+            double latency_sum = 0.0;
+            for (unsigned t = 0; t < trials; ++t) {
+                EventQueue eq;
+                std::unique_ptr<dram::DramSystem> dram_sys;
+                std::unique_ptr<mem::MemoryBackend> backend;
+                if (opt.backendKind == sim::BackendKind::dram) {
+                    dram_sys = std::make_unique<dram::DramSystem>(
+                        sim::SimConfig::defaultDram(), eq);
+                    backend = std::make_unique<dram::DramBackend>(
+                        *dram_sys);
+                } else {
+                    backend = std::make_unique<mem::NetBackend>(
+                        opt.net, eq);
+                }
+                auto p = params;
+                p.oram.seed += t * 7919;
+                core::OramController ctrl(p, eq, *backend);
+                Rng rng(t * 31 + offset_ns);
 
-            // Inject the probe at the offset.
-            std::uint64_t before = ctrl.dummyReplacements();
-            bool done = false;
-            Tick t0 = 0, t1 = 0;
-            eq.scheduleIn(offset_ns * 1000, [&] {
-                t0 = eq.now();
-                ctrl.request(oram::Op::read,
-                             4096 + rng.uniformInt(1 << 12), {},
-                             [&](Tick tt, const auto &) {
-                                 t1 = tt;
-                                 done = true;
+                // Prime: one access whose refill commits a dummy.
+                bool primed = false;
+                ctrl.request(oram::Op::read, rng.uniformInt(1 << 12),
+                             {},
+                             [&](Tick, const auto &) {
+                                 primed = true;
                              });
-            });
-            eq.runWhile([&] { return !done; });
-            replaced += ctrl.dummyReplacements() > before;
-            latency_sum += ticksToNs(t1 - t0);
-        }
-        table.addRow({TextTable::fmt(std::uint64_t{offset_ns}),
-                      TextTable::fmt(
-                          static_cast<double>(replaced) / trials, 3),
-                      TextTable::fmt(latency_sum / trials, 0)});
+                eq.runWhile([&] { return !primed; });
+
+                // Inject the probe at the offset.
+                std::uint64_t before = ctrl.dummyReplacements();
+                bool done = false;
+                Tick t0 = 0, t1 = 0;
+                eq.scheduleIn(offset_ns * 1000, [&] {
+                    t0 = eq.now();
+                    ctrl.request(oram::Op::read,
+                                 4096 + rng.uniformInt(1 << 12), {},
+                                 [&](Tick tt, const auto &) {
+                                     t1 = tt;
+                                     done = true;
+                                 });
+                });
+                eq.runWhile([&] { return !done; });
+                replaced += ctrl.dummyReplacements() > before;
+                latency_sum += ticksToNs(t1 - t0);
+            }
+            rows[band] = {
+                TextTable::fmt(std::uint64_t{offset_ns}),
+                TextTable::fmt(
+                    static_cast<double>(replaced) / trials, 3),
+                TextTable::fmt(latency_sum / trials, 0)};
+        }});
     }
+
+    sim::SweepRunner runner(opt.sweep);
+    for (const auto &out : runner.runTasks(std::move(tasks))) {
+        if (!out.ok)
+            fp_fatal("offset band '%s' failed: %s", out.name.c_str(),
+                     out.error.c_str());
+    }
+    for (const auto &row : rows)
+        table.addRow(row);
     emit(table);
     return 0;
 }

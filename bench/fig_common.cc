@@ -29,9 +29,12 @@ parseOptions(const CliArgs &args)
     csvMode = opt.csv;
     opt.sweep = sim::sweepOptionsFromArgs(args);
 
-    sim::SimConfig obs_probe;
-    sim::applyObsFlags(obs_probe, args);
-    opt.obs = obs_probe.obs;
+    sim::SimConfig probe;
+    sim::applyObsFlags(probe, args);
+    sim::applyBackendFlags(probe, args);
+    opt.obs = probe.obs;
+    opt.backendKind = probe.backendKind;
+    opt.net = probe.net;
 
     std::string mixes = args.getString("mixes", "");
     if (mixes.empty()) {
@@ -52,6 +55,8 @@ baseConfig(const BenchOptions &opt)
     cfg.requestsPerCore = opt.requests;
     cfg.controller.oram.leafLevel = opt.leafLevel;
     cfg.obs = opt.obs;
+    cfg.backendKind = opt.backendKind;
+    cfg.net = opt.net;
     return cfg;
 }
 

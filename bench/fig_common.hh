@@ -12,8 +12,12 @@
  *   --csv           emit tables as CSV (for external plotting)
  *
  * plus the observability flags of sim::applyObsFlags (--trace-out,
- * --trace-level, --stats-out, --stats-interval), applied to every
- * run the bench performs.
+ * --trace-level, --stats-out, --stats-interval) and the memory-
+ * backend flags of sim::applyBackendFlags (--backend=dram|net,
+ * --net-latency-us, --net-gbps, --net-window), applied to every run
+ * the bench performs. The default --backend=dram reproduces the
+ * paper's DDR3 numbers byte for byte; --backend=net reruns the same
+ * experiment against the network/cloud store model.
  *
  * Output convention: each bench prints the paper's series as ASCII
  * tables, normalized the same way the figure is, and ends with a
@@ -42,6 +46,8 @@ struct BenchOptions
     std::vector<std::string> mixes;
     bool csv = false;
     sim::ObsConfig obs;
+    sim::BackendKind backendKind = sim::BackendKind::dram;
+    mem::NetBackendParams net;
     sim::SweepOptions sweep;
 };
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "util/random.hh"
 
 namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/overlap.hh"
+#include "dram/dram_backend.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
 
@@ -32,15 +33,32 @@ ControllerParams::forkPath()
 }
 
 OramController::OramController(const ControllerParams &params,
+                               EventQueue &eq,
+                               mem::MemoryBackend &backend)
+    : OramController(params, eq, &backend, nullptr)
+{
+}
+
+OramController::OramController(const ControllerParams &params,
                                EventQueue &eq, dram::DramSystem &dram)
-    : params_(params), eq_(eq), dram_(dram),
+    : OramController(params, eq, nullptr,
+                     std::make_unique<dram::DramBackend>(dram))
+{
+}
+
+OramController::OramController(
+    const ControllerParams &params, EventQueue &eq,
+    mem::MemoryBackend *ext,
+    std::unique_ptr<mem::MemoryBackend> owned)
+    : ownedMem_(std::move(owned)), params_(params), eq_(eq),
+      mem_(ext ? *ext : *ownedMem_),
       geo_(params.oram.geometry()),
       posMap_(geo_, params.oram.seed ^ 0xa11ce),
       stash_(geo_, params.oram.stashCapacity),
       store_(geo_, params.oram.z, params.oram.payloadBytes,
              params.oram.encrypt, params.oram.seed ^ 0xc1f3),
-      layout_(geo_, params.bucketBytes(),
-              dram.params().org.rowBytes, params.layout),
+      layout_(geo_, params.bucketBytes(), mem_.rowBytes(),
+              params.layout),
       addrQueue_(params.addressQueueSize),
       labelQueue_(geo_, params.labelQueueSize, params.agingThreshold,
                   params.dummyPolicy, params.oram.seed ^ 0x1abe1),
@@ -565,17 +583,16 @@ OramController::readBucketAt(unsigned level)
     }
     ++dramBucketsThisRead_;
     ++outstandingReads_;
-    dram::DramRequest req;
+    mem::BackendRequest req;
     req.addr = layout_.physAddr(idx);
     req.isWrite = false;
-    req.bursts = static_cast<unsigned>(params_.bucketBytes() /
-                                       dram_.params().org.burstBytes);
+    req.bytes = params_.bucketBytes();
     req.onComplete = [this](Tick) {
         fp_assert(outstandingReads_ > 0, "read completion underflow");
         if (--outstandingReads_ == 0 && phase_ == Phase::reading)
             finishRead();
     };
-    dram_.access(std::move(req));
+    mem_.access(std::move(req));
 }
 
 void
@@ -774,17 +791,16 @@ OramController::writeBucketAt(unsigned level)
 
     dramBucketWrites_.inc();
     ++outstandingWrites_;
-    dram::DramRequest req;
+    mem::BackendRequest req;
     req.addr = layout_.physAddr(idx);
     req.isWrite = true;
-    req.bursts = static_cast<unsigned>(params_.bucketBytes() /
-                                       dram_.params().org.burstBytes);
+    req.bytes = params_.bucketBytes();
     req.onComplete = [this](Tick) {
         fp_assert(outstandingWrites_ > 0, "write completion underflow");
         --outstandingWrites_;
         issueMoreWrites();
     };
-    dram_.access(std::move(req));
+    mem_.access(std::move(req));
 }
 
 void

@@ -14,9 +14,11 @@
  *    read phase starts exactly there (the fork shape);
  *  - merging-aware or treetop caching between the stash and DRAM.
  *
- * The controller is event-driven against a DramSystem for timing and
- * carries real blocks through the stash/TreeStore for functional
- * correctness; both concerns are exercised by one code path.
+ * The controller is event-driven against a mem::MemoryBackend for
+ * timing (the DDR3 model behind dram::DramBackend, or mem::NetBackend
+ * for a remote store) and carries real blocks through the
+ * stash/TreeStore for functional correctness; both concerns are
+ * exercised by one code path.
  *
  * Phase machine per ORAM access (Figure 1(c)):
  *
@@ -47,7 +49,8 @@
 #include "core/label_queue.hh"
 #include "core/merging_cache.hh"
 #include "core/plb.hh"
-#include "dram/dram_system.hh"
+#include "dram/address_mapping.hh"
+#include "mem/backend.hh"
 #include "mem/tree_store.hh"
 #include "obs/tracer.hh"
 #include "oram/oram_params.hh"
@@ -57,6 +60,11 @@
 #include "oram/treetop_cache.hh"
 #include "util/event_queue.hh"
 #include "util/stats.hh"
+
+namespace fp::dram
+{
+class DramSystem;
+} // namespace fp::dram
 
 namespace fp::core
 {
@@ -163,6 +171,12 @@ class OramController
     using DataCallback =
         std::function<void(Tick, const std::vector<std::uint8_t> &)>;
 
+    /** Drive the controller against any memory backend (the seam
+     *  every production configuration uses). */
+    OramController(const ControllerParams &params, EventQueue &eq,
+                   mem::MemoryBackend &backend);
+    /** Convenience: wrap @p dram in an owned DramBackend adapter —
+     *  cycle-identical to driving the DramSystem directly. */
     OramController(const ControllerParams &params, EventQueue &eq,
                    dram::DramSystem &dram);
     ~OramController();
@@ -256,6 +270,7 @@ class OramController
     const oram::TreetopCache *treetop() const { return treetop_.get(); }
     oram::MerkleTree *merkle() { return merkle_.get(); }
     PosmapLookasideBuffer *plb() { return plb_.get(); }
+    mem::MemoryBackend &memory() { return mem_; }
 
     /** Record the adversary-visible access shapes (security tests). */
     void setRevealTraceEnabled(bool enabled)
@@ -316,6 +331,12 @@ class OramController
         writeParked,
     };
 
+    /** Delegation target of both public constructors: exactly one of
+     *  @p ext / @p owned is set. */
+    OramController(const ControllerParams &params, EventQueue &eq,
+                   mem::MemoryBackend *ext,
+                   std::unique_ptr<mem::MemoryBackend> owned);
+
     // --- frontend --------------------------------------------------------
     void pumpFrontend();
     bool tryMacDataHit(AddressEntry &entry);
@@ -343,9 +364,13 @@ class OramController
     /** Move a fetched bucket's blocks into the stash. */
     void ingestBucket(mem::Bucket bucket);
 
+    /** Set only by the DramSystem convenience constructor; must
+     *  precede mem_ so the reference binds to a live object. */
+    std::unique_ptr<mem::MemoryBackend> ownedMem_;
+
     ControllerParams params_;
     EventQueue &eq_;
-    dram::DramSystem &dram_;
+    mem::MemoryBackend &mem_;
 
     mem::TreeGeometry geo_;
     oram::PositionMap posMap_;

@@ -1,0 +1,32 @@
+#include "dram/dram_backend.hh"
+
+#include <algorithm>
+
+namespace fp::dram
+{
+
+void
+DramBackend::access(mem::BackendRequest req)
+{
+    DramRequest dreq;
+    dreq.addr = req.addr;
+    dreq.isWrite = req.isWrite;
+    dreq.bursts = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, req.bytes / burstBytes()));
+    dreq.onComplete = std::move(req.onComplete);
+    dram_.access(std::move(dreq));
+}
+
+mem::BackendStats
+DramBackend::statsSnapshot() const
+{
+    mem::BackendStats s;
+    s.readBursts = dram_.readBursts();
+    s.writeBursts = dram_.writeBursts();
+    s.bytesRead = s.readBursts * burstBytes();
+    s.bytesWritten = s.writeBursts * burstBytes();
+    s.avgLatencyNs = dram_.avgLatencyNs();
+    return s;
+}
+
+} // namespace fp::dram

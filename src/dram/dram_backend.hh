@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The DRAM timing model behind the mem::MemoryBackend seam: a thin,
+ * non-owning adapter that translates byte-sized BackendRequests into
+ * burst-counted DramRequests. The adapter adds no timing of its own,
+ * so a controller driven through it is cycle-identical to one that
+ * talked to the DramSystem directly (tests/test_backend.cc pins this
+ * with a golden RunResult).
+ */
+
+#ifndef FP_DRAM_DRAM_BACKEND_HH
+#define FP_DRAM_DRAM_BACKEND_HH
+
+#include "dram/dram_system.hh"
+#include "mem/backend.hh"
+
+namespace fp::dram
+{
+
+class DramBackend final : public mem::MemoryBackend
+{
+  public:
+    explicit DramBackend(DramSystem &dram) : dram_(dram) {}
+
+    void access(mem::BackendRequest req) override;
+
+    bool idle() const override { return dram_.idle(); }
+    std::size_t queueDepth() const override
+    {
+        return dram_.queueDepth();
+    }
+
+    mem::BackendStats statsSnapshot() const override;
+    void setTracer(obs::Tracer *tracer) override
+    {
+        dram_.setTracer(tracer);
+    }
+    void resetStats() override { dram_.resetStats(); }
+
+    std::uint64_t burstBytes() const override
+    {
+        return dram_.params().org.burstBytes;
+    }
+    std::uint64_t rowBytes() const override
+    {
+        return dram_.params().org.rowBytes;
+    }
+    const char *kind() const override { return "dram"; }
+
+    DramSystem &dram() { return dram_; }
+
+  private:
+    DramSystem &dram_;
+};
+
+} // namespace fp::dram
+
+#endif // FP_DRAM_DRAM_BACKEND_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The memory-backend seam: everything above the untrusted store (the
+ * ORAM controller, the full-system harness, the insecure baseline)
+ * issues requests against this interface instead of a concrete
+ * timing model.
+ *
+ * Contract:
+ *
+ *  - access() accepts a byte-addressed request of `bytes` payload and
+ *    MUST eventually invoke `onComplete(now)` exactly once, from the
+ *    shared event queue (never re-entrantly from inside access()).
+ *    Completion time is data arrival for reads and durable-write
+ *    acknowledgement for writes.
+ *  - Requests may complete out of order; callers that need ordering
+ *    sequence it themselves (the ORAM controller's phase machine
+ *    already does).
+ *  - idle() / queueDepth() expose the backend's occupancy so callers
+ *    can pace issue without knowing the timing model.
+ *  - burstBytes() is the transfer granule: a request's cost is
+ *    accounted in whole bursts (`max(1, bytes / burstBytes())`).
+ *  - rowBytes() is the locality granule the bucket-layout policies
+ *    pack subtrees into (a DRAM row; for a network store, the
+ *    request-coalescing unit of the remote object layout).
+ *
+ * Implementations: dram::DramBackend (the DDR3 timing model behind a
+ * thin adapter) and mem::NetBackend (a latency/bandwidth/window model
+ * of a remote store).
+ */
+
+#ifndef FP_MEM_BACKEND_HH
+#define FP_MEM_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hh"
+
+namespace fp::obs
+{
+class Tracer;
+} // namespace fp::obs
+
+namespace fp::mem
+{
+
+/** A request at the backend boundary. */
+struct BackendRequest
+{
+    Addr addr = 0;              //!< Physical byte address.
+    bool isWrite = false;
+    std::uint64_t bytes = 64;   //!< Payload bytes to transfer.
+    std::function<void(Tick)> onComplete;
+};
+
+/** Backend-agnostic traffic summary (units: bursts and bytes). */
+struct BackendStats
+{
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeBursts = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    /** Mean request completion latency (ns), queueing included. */
+    double avgLatencyNs = 0.0;
+};
+
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Issue a request; `req.onComplete` fires exactly once later. */
+    virtual void access(BackendRequest req) = 0;
+
+    /** No request admitted and not yet completed. */
+    virtual bool idle() const = 0;
+
+    /** Requests admitted and not yet completed. */
+    virtual std::size_t queueDepth() const = 0;
+
+    /** Cumulative traffic counters since construction/resetStats. */
+    virtual BackendStats statsSnapshot() const = 0;
+
+    /** Attach the event tracer (null detaches). */
+    virtual void setTracer(obs::Tracer *tracer) = 0;
+
+    virtual void resetStats() = 0;
+
+    /** Transfer granule in bytes (never 0). */
+    virtual std::uint64_t burstBytes() const = 0;
+
+    /** Locality granule in bytes for layout policies (never 0). */
+    virtual std::uint64_t rowBytes() const = 0;
+
+    /** Short identifier ("dram", "net") for results and logs. */
+    virtual const char *kind() const = 0;
+};
+
+} // namespace fp::mem
+
+#endif // FP_MEM_BACKEND_HH

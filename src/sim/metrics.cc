@@ -73,6 +73,17 @@ toJson(const RunResult &r)
         .field("cache_hits", r.cacheHits)
         .field("cache_misses", r.cacheMisses)
         .field("cache_hit_rate", r.cacheHitRate());
+    if (r.backendKind != "dram") {
+        // Non-DRAM backends carry their own summary block. DRAM runs
+        // omit it so their JSON stays byte-identical to the format
+        // that predates the backend seam.
+        w.field("backend_kind", r.backendKind)
+            .field("backend_read_bursts", r.backendReadBursts)
+            .field("backend_write_bursts", r.backendWriteBursts)
+            .field("backend_bytes_read", r.backendBytesRead)
+            .field("backend_bytes_written", r.backendBytesWritten)
+            .field("backend_avg_latency_ns", r.backendAvgLatencyNs);
+    }
     w.key("merge_skips_per_level").beginArray();
     for (std::uint64_t n : r.mergeSkipsPerLevel)
         w.value(n);

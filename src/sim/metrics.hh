@@ -14,6 +14,7 @@
 #define FP_SIM_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/oram_controller.hh"
@@ -63,9 +64,19 @@ struct RunResult
     /** Accesses that skipped level l, indexed by l. */
     std::vector<std::uint64_t> mergeSkipsPerLevel;
 
-    // DRAM behaviour.
+    // DRAM behaviour (zero when the backend has no row buffers).
     std::uint64_t rowHits = 0;
     std::uint64_t rowMisses = 0;
+
+    // Memory-backend summary. Always populated; serialised to JSON
+    // only for non-DRAM backends so DRAM-backed output stays
+    // byte-identical to the pre-seam format.
+    std::string backendKind = "dram";
+    std::uint64_t backendReadBursts = 0;
+    std::uint64_t backendWriteBursts = 0;
+    std::uint64_t backendBytesRead = 0;
+    std::uint64_t backendBytesWritten = 0;
+    double backendAvgLatencyNs = 0.0;
 
     // Energy (nJ).
     double dramEnergyNj = 0.0;

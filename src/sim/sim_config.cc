@@ -6,6 +6,12 @@
 namespace fp::sim
 {
 
+dram::DramParams
+SimConfig::defaultDram()
+{
+    return dram::DramParams::ddr3_1600(2);
+}
+
 SimConfig
 SimConfig::paperDefault()
 {
@@ -20,7 +26,7 @@ SimConfig::paperDefault()
     cfg.controller.oram.payloadBytes = 0; // timing runs carry no data
     cfg.controller.oram.stashCapacity = 200;
 
-    cfg.dram = dram::DramParams::ddr3_1600(2);
+    cfg.dram = defaultDram();
     return cfg;
 }
 
@@ -47,6 +53,30 @@ applyObsFlags(SimConfig &cfg, const CliArgs &args)
             fp_fatal("unknown --trace-level '%s' (off|access|full)",
                      lvl.c_str());
     }
+}
+
+void
+applyBackendFlags(SimConfig &cfg, const CliArgs &args)
+{
+    if (args.has("backend")) {
+        std::string kind = args.getString("backend", "dram");
+        if (kind == "dram")
+            cfg.backendKind = BackendKind::dram;
+        else if (kind == "net")
+            cfg.backendKind = BackendKind::net;
+        else
+            fp_fatal("unknown --backend '%s' (dram|net)",
+                     kind.c_str());
+    }
+    cfg.net.oneWayLatencyUs =
+        args.getDouble("net-latency-us", cfg.net.oneWayLatencyUs);
+    cfg.net.linkGbps = args.getDouble("net-gbps", cfg.net.linkGbps);
+    cfg.net.window = static_cast<unsigned>(args.getInt(
+        "net-window", static_cast<std::int64_t>(cfg.net.window)));
+    fp_assert(cfg.net.oneWayLatencyUs >= 0.0,
+              "--net-latency-us must be non-negative");
+    fp_assert(cfg.net.linkGbps > 0.0, "--net-gbps must be positive");
+    fp_assert(cfg.net.window >= 1, "--net-window must be at least 1");
 }
 
 SimConfig

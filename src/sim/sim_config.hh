@@ -13,6 +13,7 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_params.hh"
+#include "mem/net_backend.hh"
 #include "obs/tracer.hh"
 
 namespace fp
@@ -42,6 +43,13 @@ struct ObsConfig
     bool statsEnabled() const { return !statsOut.empty(); }
 };
 
+/** Which mem::MemoryBackend implementation serves the controller. */
+enum class BackendKind
+{
+    dram, //!< The DDR3 timing model (the paper's configuration).
+    net,  //!< mem::NetBackend: a remote/cloud store model.
+};
+
 struct SimConfig
 {
     // --- processor (Table 1) ----------------------------------------------
@@ -60,7 +68,20 @@ struct SimConfig
 
     // --- memory path -------------------------------------------------------
     core::ControllerParams controller;
-    dram::DramParams dram = dram::DramParams::ddr3_1600(2);
+
+    /**
+     * The paper's DDR3-1600 x2-channel part: the single source of
+     * truth for the default DRAM configuration (SyncOram and the
+     * figure harnesses all start from it).
+     */
+    static dram::DramParams defaultDram();
+
+    dram::DramParams dram = defaultDram();
+
+    /** Backend implementation; `dram` is the paper's configuration. */
+    BackendKind backendKind = BackendKind::dram;
+    /** Remote-store model, used when backendKind == net. */
+    mem::NetBackendParams net;
 
     /**
      * Run without ORAM: each miss is one 64 B DRAM access. Used for
@@ -97,6 +118,20 @@ struct SimConfig
  * Unrecognised level names are fatal; absent flags leave defaults.
  */
 void applyObsFlags(SimConfig &cfg, const CliArgs &args);
+
+/**
+ * Apply the shared memory-backend flags to @p cfg:
+ *
+ *   --backend=KIND       "dram" (default) or "net"
+ *   --net-latency-us=T   one-way propagation delay (default 50)
+ *   --net-gbps=B         link bandwidth in Gb/s (default 10)
+ *   --net-window=N       outstanding-request window (default 16)
+ *
+ * The --net-* flags tune the model whether or not --backend=net was
+ * given on the same command line (so a sweep driver can set them
+ * once). Unknown kinds and non-positive values are fatal.
+ */
+void applyBackendFlags(SimConfig &cfg, const CliArgs &args);
 
 /** Controller variants used across the figures. */
 SimConfig withTraditional(SimConfig cfg);

@@ -91,6 +91,37 @@ SweepRunner::effectiveJobs(std::size_t npoints) const
     return jobs;
 }
 
+void
+SweepRunner::dispatch(std::size_t total,
+                      const std::function<void(std::size_t)> &run_one)
+{
+    const unsigned jobs = effectiveJobs(total);
+    if (jobs <= 1) {
+        // Inline on the calling thread: identical to the sequential
+        // benches this runner replaced, byte for byte.
+        for (std::size_t i = 0; i < total; ++i)
+            run_one(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        workers.emplace_back([&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    return;
+                run_one(i);
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+}
+
 std::vector<SweepOutcome>
 SweepRunner::run(std::vector<SweepPoint> points)
 {
@@ -116,39 +147,56 @@ SweepRunner::run(std::vector<SweepPoint> points)
             opt_.onPointDone(out, done, total);
     };
 
-    auto run_one = [&](std::size_t i) {
+    dispatch(total, [&](std::size_t i) {
         auto t0 = std::chrono::steady_clock::now();
         outcomes[i] = runPoint(points[i]);
         std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
         report(outcomes[i], dt.count());
+    });
+    return outcomes;
+}
+
+std::vector<TaskOutcome>
+SweepRunner::runTasks(std::vector<SweepTask> tasks)
+{
+    const std::size_t total = tasks.size();
+    std::vector<TaskOutcome> outcomes(total);
+    if (total == 0)
+        return outcomes;
+
+    std::mutex report_mutex;
+    std::size_t done = 0;
+
+    auto report = [&](const TaskOutcome &out, double secs) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++done;
+        if (opt_.progress) {
+            std::fprintf(stderr, "[%zu/%zu] %s %s(%.1fs)%s%s\n", done,
+                         total, out.name.c_str(),
+                         out.ok ? "" : "FAILED ", secs,
+                         out.ok ? "" : ": ",
+                         out.ok ? "" : out.error.c_str());
+        }
     };
 
-    const unsigned jobs = effectiveJobs(total);
-    if (jobs <= 1) {
-        // Inline on the calling thread: identical to the sequential
-        // benches this runner replaced, byte for byte.
-        for (std::size_t i = 0; i < total; ++i)
-            run_one(i);
-        return outcomes;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(jobs);
-    for (unsigned w = 0; w < jobs; ++w) {
-        workers.emplace_back([&] {
-            for (;;) {
-                std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= total)
-                    return;
-                run_one(i);
-            }
-        });
-    }
-    for (auto &t : workers)
-        t.join();
+    dispatch(total, [&](std::size_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        TaskOutcome &out = outcomes[i];
+        out.name = tasks[i].name;
+        try {
+            ScopedRecoverableFailures guard;
+            tasks[i].fn();
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        report(out, dt.count());
+    });
     return outcomes;
 }
 

@@ -68,6 +68,29 @@ struct SweepOutcome
     std::string error; //!< Failure message iff !ok.
 };
 
+/**
+ * An arbitrary unit of work for SweepRunner::runTasks — for benches
+ * whose points are not (config, profiles) System runs (table
+ * builders, statistical trials, component timings). The callable
+ * must be self-contained: it runs under the same failure isolation
+ * and thread pool as SweepPoints, so it may not touch shared mutable
+ * state unless it synchronizes that state itself.
+ */
+struct SweepTask
+{
+    /** Display name (progress lines and error records). */
+    std::string name;
+    std::function<void()> fn;
+};
+
+/** What happened to one task. */
+struct TaskOutcome
+{
+    std::string name;
+    bool ok = false;
+    std::string error; //!< Failure message iff !ok.
+};
+
 struct SweepOptions
 {
     /** Worker threads; 0 means hardware concurrency. 1 runs the
@@ -95,6 +118,14 @@ class SweepRunner
      */
     std::vector<SweepOutcome> run(std::vector<SweepPoint> points);
 
+    /**
+     * Run every task; returns one outcome per task, in the order the
+     * tasks were given. Same scheduling, progress reporting and
+     * failure isolation as run(); onPointDone is not invoked (tasks
+     * produce no RunResult).
+     */
+    std::vector<TaskOutcome> runTasks(std::vector<SweepTask> tasks);
+
     /** Worker count actually used for a sweep of @p npoints. */
     unsigned effectiveJobs(std::size_t npoints) const;
 
@@ -102,6 +133,11 @@ class SweepRunner
     static unsigned hardwareJobs();
 
   private:
+    /** Fan run_one(i), i in [0, total), over the worker pool (inline
+     *  and in order when effectiveJobs(total) == 1). */
+    void dispatch(std::size_t total,
+                  const std::function<void(std::size_t)> &run_one);
+
     SweepOptions opt_;
 };
 

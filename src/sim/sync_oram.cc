@@ -2,20 +2,45 @@
 
 #include <cstdio>
 
+#include "dram/dram_backend.hh"
+#include "sim/sim_config.hh"
 #include "util/logging.hh"
 
 namespace fp::sim
 {
 
+SyncOram::SyncOram(core::ControllerParams controller)
+    : SyncOram(std::move(controller), SimConfig::defaultDram())
+{
+}
+
 SyncOram::SyncOram(core::ControllerParams controller,
                    dram::DramParams dram)
+    : SyncOram(std::move(controller), &dram, nullptr)
+{
+}
+
+SyncOram::SyncOram(core::ControllerParams controller,
+                   mem::NetBackendParams net)
+    : SyncOram(std::move(controller), nullptr, &net)
+{
+}
+
+SyncOram::SyncOram(core::ControllerParams controller,
+                   const dram::DramParams *dram,
+                   const mem::NetBackendParams *net)
 {
     fp_assert(controller.oram.payloadBytes > 0,
               "SyncOram needs a non-zero payload size");
     eq_ = std::make_unique<EventQueue>();
-    dram_ = std::make_unique<dram::DramSystem>(dram, *eq_);
+    if (dram) {
+        dram_ = std::make_unique<dram::DramSystem>(*dram, *eq_);
+        backend_ = std::make_unique<dram::DramBackend>(*dram_);
+    } else {
+        backend_ = std::make_unique<mem::NetBackend>(*net, *eq_);
+    }
     ctrl_ = std::make_unique<core::OramController>(controller, *eq_,
-                                                   *dram_);
+                                                   *backend_);
 }
 
 SyncOram::~SyncOram() = default;
@@ -133,9 +158,18 @@ SyncOram::printStats() const
                 c.avgDramBucketsRead());
     std::printf("avg request latency:   %.1f ns\n",
                 c.oramLatency().mean());
-    std::printf("dram row hits/misses:  %llu / %llu\n",
-                static_cast<unsigned long long>(dram_->rowHits()),
-                static_cast<unsigned long long>(dram_->rowMisses()));
+    if (dram_) {
+        std::printf(
+            "dram row hits/misses:  %llu / %llu\n",
+            static_cast<unsigned long long>(dram_->rowHits()),
+            static_cast<unsigned long long>(dram_->rowMisses()));
+    } else {
+        const mem::BackendStats bs = backend_->statsSnapshot();
+        std::printf("%s bursts (r/w):     %llu / %llu\n",
+                    backend_->kind(),
+                    static_cast<unsigned long long>(bs.readBursts),
+                    static_cast<unsigned long long>(bs.writeBursts));
+    }
 }
 
 } // namespace fp::sim

@@ -21,6 +21,8 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_system.hh"
+#include "mem/backend.hh"
+#include "mem/net_backend.hh"
 #include "util/event_queue.hh"
 
 namespace fp::sim
@@ -30,13 +32,21 @@ class SyncOram
 {
   public:
     /**
+     * Store backed by the default DRAM part
+     * (SimConfig::defaultDram(), the paper's DDR3-1600 x2).
+     *
      * @param controller Configuration for the ORAM controller; the
      *        payload size must be non-zero to carry data.
-     * @param dram       DRAM configuration.
      */
-    explicit SyncOram(
-        core::ControllerParams controller,
-        dram::DramParams dram = dram::DramParams::ddr3_1600(2));
+    explicit SyncOram(core::ControllerParams controller);
+
+    /** Store backed by a specific DRAM configuration. */
+    SyncOram(core::ControllerParams controller,
+             dram::DramParams dram);
+
+    /** Store backed by the network/cloud model (mem::NetBackend). */
+    SyncOram(core::ControllerParams controller,
+             mem::NetBackendParams net);
     ~SyncOram();
 
     /** Blocking read of one block. Unwritten blocks read as zeros. */
@@ -66,14 +76,24 @@ class SyncOram
     Tick now() const { return eq_->now(); }
 
     core::OramController &controller() { return *ctrl_; }
-    dram::DramSystem &dram() { return *dram_; }
+    /** The memory backend serving the controller. */
+    mem::MemoryBackend &backend() { return *backend_; }
+    /** The DRAM timing model; null for non-DRAM backends. */
+    dram::DramSystem *dram() { return dram_.get(); }
 
     /** Print a human-readable stats summary to stdout. */
     void printStats() const;
 
   private:
+    /** Delegation target; exactly one of @p dram / @p net is set. */
+    SyncOram(core::ControllerParams controller,
+             const dram::DramParams *dram,
+             const mem::NetBackendParams *net);
+
     std::unique_ptr<EventQueue> eq_;
+    /** Set only for DRAM-backed stores (feeds the row-hit line). */
     std::unique_ptr<dram::DramSystem> dram_;
+    std::unique_ptr<mem::MemoryBackend> backend_;
     std::unique_ptr<core::OramController> ctrl_;
 };
 

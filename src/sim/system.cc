@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "dram/dram_backend.hh"
+#include "mem/net_backend.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
@@ -36,13 +38,15 @@ class System::OramSink : public workload::MemorySink
     core::OramController &ctrl_;
 };
 
-/** Adapter: the insecure baseline, one 64 B DRAM access per miss. */
+/** Adapter: the insecure baseline, one burst per miss, straight at
+ *  the memory backend. */
 class System::InsecureSink : public workload::MemorySink
 {
   public:
-    InsecureSink(dram::DramSystem &dram, std::uint64_t block_bytes,
+    InsecureSink(mem::MemoryBackend &backend,
+                 std::uint64_t block_bytes,
                  std::size_t max_outstanding)
-        : dram_(dram), blockBytes_(block_bytes),
+        : backend_(backend), blockBytes_(block_bytes),
           maxOutstanding_(max_outstanding)
     {
     }
@@ -59,20 +63,20 @@ class System::InsecureSink : public workload::MemorySink
         if (!canAccept())
             return false;
         ++outstanding_;
-        dram::DramRequest dreq;
-        dreq.addr = req.addr * blockBytes_;
-        dreq.isWrite = req.isWrite;
-        dreq.bursts = 1;
-        dreq.onComplete = [this, cb = std::move(on_response)](Tick t) {
+        mem::BackendRequest breq;
+        breq.addr = req.addr * blockBytes_;
+        breq.isWrite = req.isWrite;
+        breq.bytes = backend_.burstBytes();
+        breq.onComplete = [this, cb = std::move(on_response)](Tick t) {
             --outstanding_;
             cb(t);
         };
-        dram_.access(std::move(dreq));
+        backend_.access(std::move(breq));
         return true;
     }
 
   private:
-    dram::DramSystem &dram_;
+    mem::MemoryBackend &backend_;
     std::uint64_t blockBytes_;
     std::size_t maxOutstanding_;
     std::size_t outstanding_ = 0;
@@ -106,20 +110,25 @@ System::System(const SimConfig &cfg,
             registry_);
     }
 
-    dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
+    if (cfg_.backendKind == BackendKind::dram) {
+        dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
+        backend_ = std::make_unique<dram::DramBackend>(*dram_);
+    } else {
+        backend_ = std::make_unique<mem::NetBackend>(cfg_.net, eq_);
+    }
     if (tracer_)
-        dram_->setTracer(tracer_.get());
+        backend_->setTracer(tracer_.get());
 
     if (cfg_.insecure) {
         // The insecure baseline's MSHR-equivalent depth scales with
         // the core count (per-core maxOutstanding each): 64 at the
         // Table-1 default of 16 outstanding x 4 cores.
         sink_ = std::make_unique<InsecureSink>(
-            *dram_, cfg_.controller.blockPhysBytes,
+            *backend_, cfg_.controller.blockPhysBytes,
             std::size_t{cfg_.maxOutstanding} * cfg_.cores);
     } else {
         ctrl_ = std::make_unique<core::OramController>(
-            cfg_.controller, eq_, *dram_);
+            cfg_.controller, eq_, *backend_);
         if (tracer_)
             ctrl_->setTracer(tracer_.get());
         sink_ = std::make_unique<OramSink>(*ctrl_);
@@ -158,8 +167,13 @@ System::printStats(std::ostream &os)
         ctrl_->stats().print(os);
         ctrl_->store().stats().print(os);
     }
-    for (unsigned c = 0; c < dram_->numChannels(); ++c)
-        dram_->channel(c).stats().print(os);
+    if (dram_) {
+        for (unsigned c = 0; c < dram_->numChannels(); ++c)
+            dram_->channel(c).stats().print(os);
+    } else if (auto *net =
+                   dynamic_cast<mem::NetBackend *>(backend_.get())) {
+        net->stats().print(os);
+    }
 }
 
 bool
@@ -243,9 +257,18 @@ System::run(Tick limit)
         r.avgLlcLatencyNs = n ? sum / static_cast<double>(n) : 0.0;
     }
 
-    r.rowHits = dram_->rowHits();
-    r.rowMisses = dram_->rowMisses();
-    r.dramEnergyNj = dram_->energy(eq_.now()).total();
+    if (dram_) {
+        r.rowHits = dram_->rowHits();
+        r.rowMisses = dram_->rowMisses();
+        r.dramEnergyNj = dram_->energy(eq_.now()).total();
+    }
+    r.backendKind = backend_->kind();
+    const mem::BackendStats bs = backend_->statsSnapshot();
+    r.backendReadBursts = bs.readBursts;
+    r.backendWriteBursts = bs.writeBursts;
+    r.backendBytesRead = bs.bytesRead;
+    r.backendBytesWritten = bs.bytesWritten;
+    r.backendAvgLatencyNs = bs.avgLatencyNs;
 
     if (intervalStats_) {
         // Final snapshot at the end-of-run tick, then seal the file.

@@ -13,6 +13,7 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_system.hh"
+#include "mem/backend.hh"
 #include "obs/interval_stats.hh"
 #include "obs/tracer.hh"
 #include "sim/metrics.hh"
@@ -49,7 +50,10 @@ class System
     void printStats(std::ostream &os);
 
     EventQueue &eventQueue() { return eq_; }
-    dram::DramSystem &dram() { return *dram_; }
+    /** The memory backend the run is configured with. */
+    mem::MemoryBackend &backend() { return *backend_; }
+    /** The DRAM timing model; null when cfg.backendKind != dram. */
+    dram::DramSystem *dram() { return dram_.get(); }
     /** Null in insecure mode. */
     core::OramController *controller() { return ctrl_.get(); }
     /** Null unless cfg.obs.traceOut was set. */
@@ -80,7 +84,9 @@ class System
     EventQueue eq_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalStats> intervalStats_;
+    /** Set only for the DRAM backend (feeds energy/row stats). */
     std::unique_ptr<dram::DramSystem> dram_;
+    std::unique_ptr<mem::MemoryBackend> backend_;
     std::unique_ptr<core::OramController> ctrl_;
     std::unique_ptr<workload::MemorySink> sink_;
     std::vector<std::unique_ptr<workload::CoreModel>> cores_;

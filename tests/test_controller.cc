@@ -12,6 +12,7 @@
 #include <map>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "sim/sim_config.hh"
 #include "util/random.hh"
 

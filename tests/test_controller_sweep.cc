@@ -13,6 +13,7 @@
 #include <tuple>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "util/random.hh"
 
 namespace fp::core

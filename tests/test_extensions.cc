@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "core/plb.hh"
 #include "util/random.hh"
 #include "workload/trace_io.hh"

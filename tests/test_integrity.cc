@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "oram/integrity.hh"
 #include "util/random.hh"
 

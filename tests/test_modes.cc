@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "sim/metrics.hh"
 #include "util/debug.hh"
 #include "util/json.hh"

@@ -19,6 +19,7 @@
 #include <cmath>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "util/random.hh"
 #include "util/stat_tests.hh"
 

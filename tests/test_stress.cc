@@ -13,6 +13,7 @@
 #include <set>
 
 #include "core/oram_controller.hh"
+#include "dram/dram_system.hh"
 #include "util/random.hh"
 
 namespace fp::core
