@@ -35,6 +35,8 @@ parseOptions(const CliArgs &args)
     opt.obs = probe.obs;
     opt.backendKind = probe.backendKind;
     opt.net = probe.net;
+    opt.faults = probe.faults;
+    opt.retry = probe.retry;
 
     std::string mixes = args.getString("mixes", "");
     if (mixes.empty()) {
@@ -57,6 +59,8 @@ baseConfig(const BenchOptions &opt)
     cfg.obs = opt.obs;
     cfg.backendKind = opt.backendKind;
     cfg.net = opt.net;
+    cfg.faults = opt.faults;
+    cfg.retry = opt.retry;
     return cfg;
 }
 

@@ -14,8 +14,11 @@
  * plus the observability flags of sim::applyObsFlags (--trace-out,
  * --trace-level, --stats-out, --stats-interval) and the memory-
  * backend flags of sim::applyBackendFlags (--backend=dram|net,
- * --net-latency-us, --net-gbps, --net-window), applied to every run
- * the bench performs. The default --backend=dram reproduces the
+ * --net-latency-us, --net-gbps, --net-window, and the fault/retry
+ * flags --fault-loss-rate, --fault-error-rate, --fault-spike-us,
+ * --fault-spike-rate, --fault-outage, --fault-seed,
+ * --retry-timeout-us, --retry-max, --retry-backoff), applied to every
+ * run the bench performs. The default --backend=dram reproduces the
  * paper's DDR3 numbers byte for byte; --backend=net reruns the same
  * experiment against the network/cloud store model.
  *
@@ -48,6 +51,8 @@ struct BenchOptions
     sim::ObsConfig obs;
     sim::BackendKind backendKind = sim::BackendKind::dram;
     mem::NetBackendParams net;
+    mem::FaultParams faults;
+    mem::RetryParams retry;
     sim::SweepOptions sweep;
 };
 

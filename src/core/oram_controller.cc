@@ -592,7 +592,24 @@ OramController::readBucketAt(unsigned level)
         if (--outstandingReads_ == 0 && phase_ == Phase::reading)
             finishRead();
     };
+    fingerprintRequest(req.addr, req.isWrite, req.bytes);
     mem_.access(std::move(req));
+}
+
+void
+OramController::fingerprintRequest(Addr addr, bool is_write,
+                                   std::uint64_t bytes)
+{
+    constexpr std::uint64_t prime = 1099511628211ULL;
+    auto fold = [this, prime](std::uint64_t v, unsigned bytes_of) {
+        for (unsigned i = 0; i < bytes_of; ++i) {
+            reqFingerprint_ ^= (v >> (8 * i)) & 0xffu;
+            reqFingerprint_ *= prime;
+        }
+    };
+    fold(addr, 8);
+    fold(is_write ? 1 : 0, 1);
+    fold(bytes, 8);
 }
 
 void
@@ -800,6 +817,7 @@ OramController::writeBucketAt(unsigned level)
         --outstandingWrites_;
         issueMoreWrites();
     };
+    fingerprintRequest(req.addr, req.isWrite, req.bytes);
     mem_.access(std::move(req));
 }
 

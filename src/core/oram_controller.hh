@@ -253,6 +253,18 @@ class OramController
     {
         return mergeSkipsPerLevel_;
     }
+    /**
+     * FNV-1a fingerprint of every backend request this controller
+     * has issued, folded over (addr, isWrite, bytes) in issue order.
+     * Taken at the seam *above* any fault/retry decorators, so a
+     * faulty run and a fault-free run of the same config must agree
+     * — the obliviousness-under-retry check (docs/ROBUSTNESS.md).
+     */
+    std::uint64_t reqStreamFingerprint() const
+    {
+        return reqFingerprint_;
+    }
+
     /** Distribution of read-phase fork levels. */
     const fp::Histogram &forkLevelHist() const { return forkLevelHist_; }
     /** Distribution of scheduled overlap (refill stop levels). */
@@ -448,6 +460,11 @@ class OramController
     fp::Counter bucketsWritten_;
     fp::Counter dramBucketWrites_;
     fp::StatGroup stats_;
+
+    /** Fold one issued request into reqFingerprint_. */
+    void fingerprintRequest(Addr addr, bool is_write,
+                            std::uint64_t bytes);
+    std::uint64_t reqFingerprint_ = 14695981039346656037ULL;
 };
 
 } // namespace fp::core

@@ -25,7 +25,11 @@
  *
  * Implementations: dram::DramBackend (the DDR3 timing model behind a
  * thin adapter) and mem::NetBackend (a latency/bandwidth/window model
- * of a remote store).
+ * of a remote store). Decorators stack on top of either:
+ * mem::FaultInjector breaks the exactly-once contract on purpose
+ * (loss, transient errors, latency spikes, outages) and
+ * mem::ResilientBackend restores it for callers above via deadline
+ * timers, retries with backoff, and dedup of late completions.
  */
 
 #ifndef FP_MEM_BACKEND_HH
@@ -51,6 +55,16 @@ struct BackendRequest
     bool isWrite = false;
     std::uint64_t bytes = 64;   //!< Payload bytes to transfer.
     std::function<void(Tick)> onComplete;
+    /**
+     * Failure channel: fired *instead of* onComplete when the store
+     * reports a transient error for this request. Exactly one of
+     * onComplete/onError fires per request. Plain timing backends
+     * never fail, so they ignore this; only fault-model decorators
+     * (mem::FaultInjector) invoke it, and only resilience-aware
+     * callers (mem::ResilientBackend) need to set it. Leaving it
+     * empty means errors are silently dropped — equivalent to loss.
+     */
+    std::function<void(Tick)> onError;
 };
 
 /** Backend-agnostic traffic summary (units: bursts and bytes). */

@@ -1,0 +1,168 @@
+#include "mem/fault_injector.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+namespace fp::mem
+{
+
+Tick
+FaultParams::usToTicksRound(double us)
+{
+    return static_cast<Tick>(std::llround(us * 1e6));
+}
+
+FaultInjector::FaultInjector(const FaultParams &params, EventQueue &eq,
+                             MemoryBackend &inner)
+    : params_(params), eq_(eq), inner_(inner), rng_(params.seed),
+      stats_("fault_injector")
+{
+    fp_assert(params_.lossRate >= 0.0 && params_.lossRate <= 1.0,
+              "FaultInjector: loss rate outside [0,1]");
+    fp_assert(params_.errorRate >= 0.0 && params_.errorRate <= 1.0,
+              "FaultInjector: error rate outside [0,1]");
+    fp_assert(params_.spikeRate >= 0.0 && params_.spikeRate <= 1.0,
+              "FaultInjector: spike rate outside [0,1]");
+    fp_assert(params_.spikeUs >= 0.0 && params_.spikeJitterUs >= 0.0,
+              "FaultInjector: negative spike magnitude/jitter");
+    fp_assert(params_.errorLatencyUs >= 0.0,
+              "FaultInjector: negative error turnaround");
+    fp_assert(params_.outageEndUs >= params_.outageStartUs,
+              "FaultInjector: outage window ends before it starts");
+
+    stats_.regCounter("loss_injected", lossInjected_,
+                      "requests dropped before reaching the store");
+    stats_.regCounter("error_injected", errorInjected_,
+                      "requests answered with a transient error");
+    stats_.regCounter("spike_injected", spikeInjected_,
+                      "completions delayed by a latency spike");
+    stats_.regCounter("outage_dropped", outageDropped_,
+                      "requests dropped inside the outage window");
+    stats_.regCounter("forwarded", forwarded_,
+                      "requests forwarded to the store untouched");
+    stats_.regAverage("spike_delay_us", spikeDelayUs_,
+                      "injected spike delay, jitter included");
+    stats_.regGauge(
+        "outage_active",
+        [this] { return inOutage(eq_.now()) ? 1.0 : 0.0; },
+        "store currently inside its outage window");
+}
+
+bool
+FaultInjector::inOutage(Tick now) const
+{
+    return params_.hasOutage() && now >= params_.outageStartTick() &&
+           now < params_.outageEndTick();
+}
+
+void
+FaultInjector::setTracer(obs::Tracer *tracer)
+{
+    trc_ = tracer;
+    inner_.setTracer(tracer);
+    if (trc_)
+        trc_->nameTrack(obs::Track::resilience, "resilience");
+}
+
+void
+FaultInjector::access(BackendRequest req)
+{
+    const Tick now = eq_.now();
+    // Exactly four draws per request, taken before any decision, so
+    // the decision stream depends only on (seed, request index) —
+    // never on which fault classes are enabled or on simulated time.
+    const double u_loss = rng_.uniformDouble();
+    const double u_error = rng_.uniformDouble();
+    const double u_spike = rng_.uniformDouble();
+    const double u_jitter = rng_.uniformDouble();
+
+    if (inOutage(now)) {
+        outageDropped_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "fault_outage_drop",
+                          {obs::TraceArg::num("addr", req.addr)});
+        }
+        return; // the store is unreachable: the request vanishes
+    }
+
+    if (u_loss < params_.lossRate) {
+        lossInjected_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "fault_loss",
+                          {obs::TraceArg::num("addr", req.addr),
+                           obs::TraceArg::flag("write", req.isWrite)});
+        }
+        return; // completion never fires
+    }
+
+    if (u_error < params_.errorRate) {
+        errorInjected_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "fault_error",
+                          {obs::TraceArg::num("addr", req.addr)});
+        }
+        // The store rejects the request after an error turnaround;
+        // it never performs the access, so nothing is forwarded.
+        ++pendingDeliveries_;
+        eq_.scheduleIn(params_.errorLatencyTicks(),
+                       [this, on_error = std::move(req.onError)] {
+                           fp_assert(pendingDeliveries_ > 0,
+                                     "fault delivery underflow");
+                           --pendingDeliveries_;
+                           if (on_error)
+                               on_error(eq_.now());
+                       });
+        return;
+    }
+
+    if (u_spike < params_.spikeRate) {
+        spikeInjected_.inc();
+        const Tick jitter = static_cast<Tick>(
+            static_cast<double>(params_.spikeJitterTicks()) *
+            u_jitter);
+        const Tick delay = params_.spikeTicks() + jitter;
+        spikeDelayUs_.sample(static_cast<double>(delay) / 1e6);
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(
+                obs::Track::resilience, "fault_spike",
+                {obs::TraceArg::num("addr", req.addr),
+                 obs::TraceArg::real(
+                     "delay_us", static_cast<double>(delay) / 1e6)});
+        }
+        // The access itself proceeds normally; only the delivery of
+        // its completion is held back by the spike.
+        auto cb = std::move(req.onComplete);
+        req.onComplete = [this, delay, cb = std::move(cb)](Tick) {
+            ++pendingDeliveries_;
+            eq_.scheduleIn(delay, [this, cb] {
+                fp_assert(pendingDeliveries_ > 0,
+                          "fault delivery underflow");
+                --pendingDeliveries_;
+                if (cb)
+                    cb(eq_.now());
+            });
+        };
+        inner_.access(std::move(req));
+        return;
+    }
+
+    forwarded_.inc();
+    inner_.access(std::move(req));
+}
+
+void
+FaultInjector::resetStats()
+{
+    lossInjected_.reset();
+    errorInjected_.reset();
+    spikeInjected_.reset();
+    outageDropped_.reset();
+    forwarded_.reset();
+    spikeDelayUs_.reset();
+    inner_.resetStats();
+}
+
+} // namespace fp::mem

@@ -60,17 +60,18 @@ struct NetBackendParams
      *  timing-neutral here, so any power of two works. */
     std::uint64_t rowBytes = 8192;
 
-    Tick oneWayTicks() const
-    {
-        return static_cast<Tick>(oneWayLatencyUs * 1e6); // us -> ps
-    }
+    /** One-way propagation in ticks (us -> ps), round to nearest:
+     *  truncation would bias every non-representable latency low by
+     *  up to a full tick. */
+    Tick oneWayTicks() const;
 
-    /** Link occupancy of a transfer: bits / (Gb/s), in ticks. */
-    Tick serializationTicks(std::uint64_t bytes) const
-    {
-        return static_cast<Tick>(static_cast<double>(bytes) * 8.0 *
-                                 1e3 / linkGbps);
-    }
+    /** Link occupancy of a transfer: bits / (Gb/s), in ticks,
+     *  round to nearest. */
+    Tick serializationTicks(std::uint64_t bytes) const;
+
+    /** Abort with a CLI-facing error (fp_fatal) if the parameters
+     *  cannot produce a meaningful timing model. */
+    void validate() const;
 };
 
 class NetBackend final : public MemoryBackend

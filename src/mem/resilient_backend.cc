@@ -1,0 +1,252 @@
+#include "mem/resilient_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+namespace fp::mem
+{
+
+Tick
+RetryParams::usToTicksRound(double us)
+{
+    return static_cast<Tick>(std::llround(us * 1e6));
+}
+
+ResilientBackend::ResilientBackend(const RetryParams &params,
+                                   EventQueue &eq, MemoryBackend &inner)
+    : params_(params), eq_(eq), inner_(inner), rng_(params.seed),
+      stats_("resilient_backend")
+{
+    fp_assert(params_.timeoutUs > 0.0,
+              "ResilientBackend built with the layer disabled "
+              "(timeoutUs == 0); the caller should skip construction");
+    fp_assert(params_.backoffBaseUs >= 0.0 &&
+                  params_.backoffCapUs >= 0.0,
+              "ResilientBackend: negative backoff");
+    fp_assert(params_.backoffJitter >= 0.0,
+              "ResilientBackend: negative backoff jitter");
+
+    stats_.regCounter("requests", requests_,
+                      "user requests accepted at this layer");
+    stats_.regCounter("retries", retries_,
+                      "re-issues after a timeout or error");
+    stats_.regCounter("timeouts", timeouts_,
+                      "deadline expiries (presumed-lost attempts)");
+    stats_.regCounter("errors", errors_,
+                      "transient error answers from the store");
+    stats_.regCounter("dedup_dropped", dedupDropped_,
+                      "completions for already-settled requests");
+    stats_.regCounter("late_wins", lateWins_,
+                      "superseded attempts whose completion won");
+    stats_.regCounter("exhausted", exhausted_,
+                      "requests escalated after the retry budget");
+    stats_.regAverage("attempts_per_req", attemptsPerReq_,
+                      "issue attempts per settled request");
+    stats_.regAverage("backoff_us", backoffUs_,
+                      "scheduled backoff delays, jitter included");
+    stats_.regGauge(
+        "live", [this] { return static_cast<double>(live_.size()); },
+        "requests accepted and not yet settled");
+}
+
+void
+ResilientBackend::setTracer(obs::Tracer *tracer)
+{
+    trc_ = tracer;
+    inner_.setTracer(tracer);
+    if (trc_)
+        trc_->nameTrack(obs::Track::resilience, "resilience");
+}
+
+void
+ResilientBackend::access(BackendRequest req)
+{
+    requests_.inc();
+    const std::uint64_t id = nextId_++;
+    auto [it, inserted] = live_.emplace(id, Pending{eq_});
+    fp_assert(inserted, "ResilientBackend: duplicate request id");
+    Pending &p = it->second;
+    p.addr = req.addr;
+    p.isWrite = req.isWrite;
+    p.bytes = req.bytes;
+    p.onComplete = std::move(req.onComplete);
+    p.onError = std::move(req.onError);
+    issueAttempt(id);
+}
+
+void
+ResilientBackend::issueAttempt(std::uint64_t id)
+{
+    auto it = live_.find(id);
+    fp_assert(it != live_.end(), "ResilientBackend: issue of dead id");
+    Pending &p = it->second;
+    const unsigned attempt = ++p.attempts;
+    if (attempt > 1) {
+        retries_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "retry",
+                          {obs::TraceArg::num("addr", p.addr),
+                           obs::TraceArg::num("attempt", attempt)});
+        }
+    }
+
+    BackendRequest fwd;
+    fwd.addr = p.addr;
+    fwd.isWrite = p.isWrite;
+    fwd.bytes = p.bytes;
+    fwd.onComplete = [this, id, attempt](Tick t) {
+        onAttemptComplete(id, attempt, t);
+    };
+    fwd.onError = [this, id, attempt](Tick t) {
+        onAttemptError(id, attempt, t);
+    };
+
+    // Deadline first, then forward: both are visible-at-later-ticks
+    // only (access() is never re-entrant), but this order keeps the
+    // timer armed even if the inner backend asserts on the request.
+    p.timer.armIn(params_.timeoutTicks(), [this, id] { onDeadline(id); });
+    inner_.access(std::move(fwd));
+}
+
+void
+ResilientBackend::onAttemptComplete(std::uint64_t id, unsigned attempt,
+                                    Tick t)
+{
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+        // The request already settled (an earlier completion won the
+        // race against this attempt). Swallow the duplicate: callers
+        // must see onComplete exactly once.
+        dedupDropped_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "retry_dedup_drop",
+                          {obs::TraceArg::num("attempt", attempt)});
+        }
+        return;
+    }
+    Pending &p = it->second;
+    if (attempt != p.attempts) {
+        // A superseded attempt (we timed out and re-issued) turned
+        // out merely slow, not lost — its data arrived first, so it
+        // wins; the in-flight retry will land in the branch above.
+        lateWins_.inc();
+    }
+    p.timer.cancel();
+    attemptsPerReq_.sample(static_cast<double>(p.attempts));
+    auto cb = std::move(p.onComplete);
+    live_.erase(it); // settle before surfacing: the callback may
+                     // re-enter access() with a follow-on request
+    if (cb)
+        cb(t);
+}
+
+void
+ResilientBackend::onAttemptError(std::uint64_t id, unsigned attempt,
+                                 Tick t)
+{
+    (void)t;
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+        dedupDropped_.inc();
+        return;
+    }
+    Pending &p = it->second;
+    if (attempt != p.attempts)
+        return; // stale error for a superseded attempt; the current
+                // attempt is still in flight with its own deadline
+    errors_.inc();
+    p.timer.cancel();
+    retryOrEscalate(id);
+}
+
+void
+ResilientBackend::onDeadline(std::uint64_t id)
+{
+    auto it = live_.find(id);
+    fp_assert(it != live_.end(),
+              "ResilientBackend: deadline for settled request "
+              "(timer cancellation broken)");
+    timeouts_.inc();
+    if (trc_ && trc_->on(obs::TraceLevel::access)) {
+        trc_->instant(obs::Track::resilience, "retry_timeout",
+                      {obs::TraceArg::num("addr", it->second.addr),
+                       obs::TraceArg::num("attempt",
+                                          it->second.attempts)});
+    }
+    retryOrEscalate(id);
+}
+
+void
+ResilientBackend::retryOrEscalate(std::uint64_t id)
+{
+    auto it = live_.find(id);
+    fp_assert(it != live_.end(), "ResilientBackend: escalate dead id");
+    Pending &p = it->second;
+
+    if (p.attempts >= 1 + params_.maxRetries) {
+        exhausted_.inc();
+        if (trc_ && trc_->on(obs::TraceLevel::access)) {
+            trc_->instant(obs::Track::resilience, "retry_exhausted",
+                          {obs::TraceArg::num("addr", p.addr),
+                           obs::TraceArg::num("attempt", p.attempts)});
+        }
+        attemptsPerReq_.sample(static_cast<double>(p.attempts));
+        const Addr addr = p.addr;
+        const unsigned attempts = p.attempts;
+        auto on_error = std::move(p.onError);
+        live_.erase(it);
+        if (on_error) {
+            on_error(eq_.now());
+            return;
+        }
+        fp_panic("ResilientBackend: request for addr 0x%llx failed "
+                 "after %u attempts (retry budget %u exhausted; raise "
+                 "--retry-max or --retry-timeout-us, or shrink the "
+                 "fault rates)",
+                 static_cast<unsigned long long>(addr), attempts,
+                 params_.maxRetries);
+    }
+
+    // Exponential backoff before the next issue: the same Timer that
+    // just served as the attempt's deadline is re-armed as the
+    // backoff delay (re-arm semantics pinned in tests/test_util.cc).
+    const Tick delay = backoffTicks(p.attempts);
+    backoffUs_.sample(static_cast<double>(delay) / 1e6);
+    p.timer.armIn(delay, [this, id] { issueAttempt(id); });
+}
+
+Tick
+ResilientBackend::backoffTicks(unsigned retry_index)
+{
+    // retry_index is 1-based: the delay before re-issuing after the
+    // retry_index-th failed attempt. Exponent is clamped so the
+    // double stays finite long before the cap applies.
+    const int exp =
+        static_cast<int>(std::min(retry_index, 60u)) - 1;
+    const double raw = params_.backoffBaseUs * std::ldexp(1.0, exp);
+    const double capped = std::min(raw, params_.backoffCapUs);
+    const double jittered =
+        capped * (1.0 + params_.backoffJitter * rng_.uniformDouble());
+    return RetryParams::usToTicksRound(jittered);
+}
+
+void
+ResilientBackend::resetStats()
+{
+    requests_.reset();
+    retries_.reset();
+    timeouts_.reset();
+    errors_.reset();
+    dedupDropped_.reset();
+    lateWins_.reset();
+    exhausted_.reset();
+    attemptsPerReq_.reset();
+    backoffUs_.reset();
+    inner_.resetStats();
+}
+
+} // namespace fp::mem

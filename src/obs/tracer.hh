@@ -49,6 +49,7 @@ enum class Track : unsigned
     revealed = 4,   //!< adversary-visible access shapes
     stash = 5,      //!< stash occupancy counter track
     queues = 6,     //!< label/address queue occupancy counters
+    resilience = 7, //!< fault injections, retries, timeouts, dedups
     /** Per-channel DRAM command tracks: dram0 + channel id. */
     dram0 = 16,
 };

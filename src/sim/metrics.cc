@@ -84,6 +84,29 @@ toJson(const RunResult &r)
             .field("backend_bytes_written", r.backendBytesWritten)
             .field("backend_avg_latency_ns", r.backendAvgLatencyNs);
     }
+    if (r.faultsEnabled || r.retryEnabled) {
+        // Resilience block, present only when a fault/retry stack was
+        // configured (fault-free output stays byte-identical).
+        w.field("fault_injection_enabled", r.faultsEnabled)
+            .field("retry_enabled", r.retryEnabled)
+            .field("fault_loss_injected", r.faultLossInjected)
+            .field("fault_error_injected", r.faultErrorInjected)
+            .field("fault_spike_injected", r.faultSpikeInjected)
+            .field("fault_outage_dropped", r.faultOutageDropped)
+            .field("retry_attempts", r.retryAttempts)
+            .field("retry_timeouts", r.retryTimeouts)
+            .field("retry_dedup_dropped", r.retryDedupDropped)
+            .field("retry_exhausted", r.retryExhausted)
+            .field("retry_max_attempts", r.retryMaxAttempts)
+            .field("fault_run_failed", r.failed)
+            .field("fault_failure", r.failureMessage)
+            // Hex string: a 64-bit fingerprint survives JSON parsers
+            // that read numbers as doubles.
+            .field("fault_stream_fingerprint",
+                   strprintf("%016llx",
+                             static_cast<unsigned long long>(
+                                 r.reqStreamFingerprint)));
+    }
     w.key("merge_skips_per_level").beginArray();
     for (std::uint64_t n : r.mergeSkipsPerLevel)
         w.value(n);

@@ -78,6 +78,35 @@ struct RunResult
     std::uint64_t backendBytesWritten = 0;
     double backendAvgLatencyNs = 0.0;
 
+    // Resilience (fault injection + retry). Serialised to JSON only
+    // when a fault/retry stack was configured, so fault-free output
+    // stays byte-identical to the historical format.
+    bool faultsEnabled = false;
+    bool retryEnabled = false;
+    /** The run ended in a recoverable SimFailure (e.g. the retry
+     *  budget was exhausted); counters describe the prefix. */
+    bool failed = false;
+    std::string failureMessage;
+    std::uint64_t faultLossInjected = 0;
+    std::uint64_t faultErrorInjected = 0;
+    std::uint64_t faultSpikeInjected = 0;
+    std::uint64_t faultOutageDropped = 0;
+    std::uint64_t retryAttempts = 0;  //!< re-issues past the first try
+    std::uint64_t retryTimeouts = 0;
+    std::uint64_t retryDedupDropped = 0;
+    std::uint64_t retryExhausted = 0;
+    std::uint64_t retryMaxAttempts = 0;
+    /**
+     * FNV-1a fingerprint of the controller's issued request stream
+     * (addr, isWrite, bytes in issue order), taken *above* the
+     * resilience stack — always computed, serialised only for
+     * fault/retry runs. Equal fingerprints between a faulty and a
+     * fault-free run of the same config prove the access pattern the
+     * controller emits is unchanged by injection + retry
+     * (obliviousness under retry; see docs/ROBUSTNESS.md).
+     */
+    std::uint64_t reqStreamFingerprint = 0;
+
     // Energy (nJ).
     double dramEnergyNj = 0.0;
     double controllerEnergyNj = 0.0;

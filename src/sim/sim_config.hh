@@ -13,7 +13,9 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_params.hh"
+#include "mem/fault_injector.hh"
 #include "mem/net_backend.hh"
+#include "mem/resilient_backend.hh"
 #include "obs/tracer.hh"
 
 namespace fp
@@ -84,6 +86,21 @@ struct SimConfig
     mem::NetBackendParams net;
 
     /**
+     * Fault model layered over the chosen backend; all-zero rates
+     * (the default) mean no injector is built at all, so fault-free
+     * runs carry zero extra machinery and stay byte-identical to
+     * historical output.
+     */
+    mem::FaultParams faults;
+    /**
+     * Retry policy above the fault model. timeoutUs == 0 (default)
+     * leaves the choice to the System: it picks a backend-appropriate
+     * deadline when faults are enabled, and builds no resilient layer
+     * otherwise. A non-zero value forces the layer on, faults or not.
+     */
+    mem::RetryParams retry;
+
+    /**
      * Run without ORAM: each miss is one 64 B DRAM access. Used for
      * the insecure baseline of Figure 14.
      */
@@ -130,8 +147,30 @@ void applyObsFlags(SimConfig &cfg, const CliArgs &args);
  * The --net-* flags tune the model whether or not --backend=net was
  * given on the same command line (so a sweep driver can set them
  * once). Unknown kinds and non-positive values are fatal.
+ *
+ * Also applies the fault-injection / retry flags (applyFaultFlags).
  */
 void applyBackendFlags(SimConfig &cfg, const CliArgs &args);
+
+/**
+ * Apply the fault-injection and retry flags to @p cfg (called from
+ * applyBackendFlags; exposed for harnesses that only want these):
+ *
+ *   --fault-loss-rate=P    probability a request is lost (default 0)
+ *   --fault-error-rate=P   probability of a transient error (0)
+ *   --fault-spike-rate=P   probability of a latency spike (0; set
+ *                          implicitly to 0.01 by --fault-spike-us)
+ *   --fault-spike-us=T     spike magnitude in us (default 500)
+ *   --fault-outage=T0:T1   store unreachable for [T0,T1) us
+ *   --fault-seed=S         fault-decision stream seed
+ *   --retry-timeout-us=T   per-attempt completion deadline (0 = auto)
+ *   --retry-max=N          retries after the first attempt (5)
+ *   --retry-backoff=B[:C]  backoff base (and cap) in us
+ *
+ * Rates outside [0,1], negative times, and malformed outage windows
+ * are fatal with a CLI-facing message.
+ */
+void applyFaultFlags(SimConfig &cfg, const CliArgs &args);
 
 /** Controller variants used across the figures. */
 SimConfig withTraditional(SimConfig cfg);

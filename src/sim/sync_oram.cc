@@ -27,8 +27,17 @@ SyncOram::SyncOram(core::ControllerParams controller,
 }
 
 SyncOram::SyncOram(core::ControllerParams controller,
+                   mem::NetBackendParams net, mem::FaultParams faults,
+                   mem::RetryParams retry)
+    : SyncOram(std::move(controller), nullptr, &net, &faults, &retry)
+{
+}
+
+SyncOram::SyncOram(core::ControllerParams controller,
                    const dram::DramParams *dram,
-                   const mem::NetBackendParams *net)
+                   const mem::NetBackendParams *net,
+                   const mem::FaultParams *faults,
+                   const mem::RetryParams *retry)
 {
     fp_assert(controller.oram.payloadBytes > 0,
               "SyncOram needs a non-zero payload size");
@@ -39,8 +48,31 @@ SyncOram::SyncOram(core::ControllerParams controller,
     } else {
         backend_ = std::make_unique<mem::NetBackend>(*net, *eq_);
     }
+
+    mem::MemoryBackend *top = backend_.get();
+    if (faults && faults->enabled()) {
+        injector_ =
+            std::make_unique<mem::FaultInjector>(*faults, *eq_, *top);
+        top = injector_.get();
+    }
+    if (injector_ || (retry && retry->enabled())) {
+        mem::RetryParams rp = retry ? *retry : mem::RetryParams{};
+        if (!rp.enabled()) {
+            // Same default the System uses: well past the net
+            // model's round trip so slow successes are not
+            // double-issued.
+            rp.timeoutUs = net ? std::max(10.0 * 2.0 *
+                                              net->oneWayLatencyUs,
+                                          1000.0)
+                               : 100.0;
+        }
+        resilient_ =
+            std::make_unique<mem::ResilientBackend>(rp, *eq_, *top);
+        top = resilient_.get();
+    }
+
     ctrl_ = std::make_unique<core::OramController>(controller, *eq_,
-                                                   *backend_);
+                                                   *top);
 }
 
 SyncOram::~SyncOram() = default;

@@ -22,7 +22,9 @@
 #include "core/oram_controller.hh"
 #include "dram/dram_system.hh"
 #include "mem/backend.hh"
+#include "mem/fault_injector.hh"
 #include "mem/net_backend.hh"
+#include "mem/resilient_backend.hh"
 #include "util/event_queue.hh"
 
 namespace fp::sim
@@ -47,6 +49,17 @@ class SyncOram
     /** Store backed by the network/cloud model (mem::NetBackend). */
     SyncOram(core::ControllerParams controller,
              mem::NetBackendParams net);
+
+    /**
+     * Store backed by the network/cloud model wrapped in the
+     * fault-injection + retry stack (mem::FaultInjector under
+     * mem::ResilientBackend) — the embedding analogue of the
+     * System's --fault-* / --retry-* flags. A retry.timeoutUs of 0
+     * picks a deadline suited to the net model's round trip.
+     */
+    SyncOram(core::ControllerParams controller,
+             mem::NetBackendParams net, mem::FaultParams faults,
+             mem::RetryParams retry);
     ~SyncOram();
 
     /** Blocking read of one block. Unwritten blocks read as zeros. */
@@ -76,8 +89,14 @@ class SyncOram
     Tick now() const { return eq_->now(); }
 
     core::OramController &controller() { return *ctrl_; }
-    /** The memory backend serving the controller. */
+    /** The base store (below any fault/retry decorators). */
     mem::MemoryBackend &backend() { return *backend_; }
+    /** Null unless the fault-injecting constructor was used. */
+    mem::FaultInjector *faultInjector() { return injector_.get(); }
+    mem::ResilientBackend *resilientBackend()
+    {
+        return resilient_.get();
+    }
     /** The DRAM timing model; null for non-DRAM backends. */
     dram::DramSystem *dram() { return dram_.get(); }
 
@@ -85,15 +104,21 @@ class SyncOram
     void printStats() const;
 
   private:
-    /** Delegation target; exactly one of @p dram / @p net is set. */
+    /** Delegation target; exactly one of @p dram / @p net is set,
+     *  @p faults / @p retry are optional decorator configs. */
     SyncOram(core::ControllerParams controller,
              const dram::DramParams *dram,
-             const mem::NetBackendParams *net);
+             const mem::NetBackendParams *net,
+             const mem::FaultParams *faults = nullptr,
+             const mem::RetryParams *retry = nullptr);
 
     std::unique_ptr<EventQueue> eq_;
     /** Set only for DRAM-backed stores (feeds the row-hit line). */
     std::unique_ptr<dram::DramSystem> dram_;
     std::unique_ptr<mem::MemoryBackend> backend_;
+    /** Optional resilience stack (fault-injecting constructor). */
+    std::unique_ptr<mem::FaultInjector> injector_;
+    std::unique_ptr<mem::ResilientBackend> resilient_;
     std::unique_ptr<core::OramController> ctrl_;
 };
 

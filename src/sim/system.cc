@@ -116,19 +116,42 @@ System::System(const SimConfig &cfg,
     } else {
         backend_ = std::make_unique<mem::NetBackend>(cfg_.net, eq_);
     }
+
+    // Optional resilience stack: store <- injector <- retry layer.
+    topBackend_ = backend_.get();
+    if (cfg_.faults.enabled()) {
+        injector_ = std::make_unique<mem::FaultInjector>(
+            cfg_.faults, eq_, *topBackend_);
+        topBackend_ = injector_.get();
+        // Injecting faults without a retry policy would wedge the run
+        // on the first lost request; pick a deadline comfortably
+        // above the store's worst case unless the user chose one.
+        if (!cfg_.retry.enabled()) {
+            cfg_.retry.timeoutUs =
+                cfg_.backendKind == BackendKind::net
+                    ? std::max(10.0 * 2.0 * cfg_.net.oneWayLatencyUs,
+                               1000.0)
+                    : 100.0;
+        }
+    }
+    if (cfg_.retry.enabled()) {
+        resilient_ = std::make_unique<mem::ResilientBackend>(
+            cfg_.retry, eq_, *topBackend_);
+        topBackend_ = resilient_.get();
+    }
     if (tracer_)
-        backend_->setTracer(tracer_.get());
+        topBackend_->setTracer(tracer_.get());
 
     if (cfg_.insecure) {
         // The insecure baseline's MSHR-equivalent depth scales with
         // the core count (per-core maxOutstanding each): 64 at the
         // Table-1 default of 16 outstanding x 4 cores.
         sink_ = std::make_unique<InsecureSink>(
-            *backend_, cfg_.controller.blockPhysBytes,
+            *topBackend_, cfg_.controller.blockPhysBytes,
             std::size_t{cfg_.maxOutstanding} * cfg_.cores);
     } else {
         ctrl_ = std::make_unique<core::OramController>(
-            cfg_.controller, eq_, *backend_);
+            cfg_.controller, eq_, *topBackend_);
         if (tracer_)
             ctrl_->setTracer(tracer_.get());
         sink_ = std::make_unique<OramSink>(*ctrl_);
@@ -174,6 +197,10 @@ System::printStats(std::ostream &os)
                    dynamic_cast<mem::NetBackend *>(backend_.get())) {
         net->stats().print(os);
     }
+    if (injector_)
+        injector_->stats().print(os);
+    if (resilient_)
+        resilient_->stats().print(os);
 }
 
 bool
@@ -198,29 +225,51 @@ System::run(Tick limit)
     }
 
     bool hit_limit = false;
-    while (!allDone()) {
-        if (eq_.now() > limit) {
-            // Truncate rather than abort: the partial run is still a
-            // valid (if incomplete) measurement, and a sweep wants an
-            // answer for this point, not a dead process.
-            hit_limit = true;
-            break;
+    bool failed = false;
+    std::string failure_msg;
+    const auto drive = [&] {
+        while (!allDone()) {
+            if (eq_.now() > limit) {
+                // Truncate rather than abort: the partial run is
+                // still a valid (if incomplete) measurement, and a
+                // sweep wants an answer for this point, not a dead
+                // process.
+                hit_limit = true;
+                break;
+            }
+            bool progressed = eq_.step();
+            fp_assert(progressed || allDone(),
+                      "deadlock: no events but cores unfinished");
         }
-        bool progressed = eq_.step();
-        fp_assert(progressed || allDone(),
-                  "deadlock: no events but cores unfinished");
+    };
+    if (injector_ || resilient_) {
+        // A run configured to be hostile is allowed to fail: the
+        // resilience stack escalates an exhausted retry budget via
+        // fp_panic, which the recoverable-failure scope converts to
+        // a SimFailure captured in the result instead of an abort.
+        ScopedRecoverableFailures recover;
+        try {
+            drive();
+        } catch (const SimFailure &e) {
+            failed = true;
+            failure_msg = e.what();
+        }
+    } else {
+        drive();
     }
 
     RunResult r;
     r.hitTickLimit = hit_limit;
+    r.failed = failed;
+    r.failureMessage = failure_msg;
     for (const auto &core : cores_) {
         r.executionTicks = std::max(r.executionTicks,
                                     core->finishTick());
         r.llcRequests += core->issued();
     }
-    if (hit_limit) {
+    if (hit_limit || failed) {
         // Unfinished cores report finishTick() == 0; the truncation
-        // point is the honest execution time.
+        // (or failure) point is the honest execution time.
         r.executionTicks = std::max(r.executionTicks, eq_.now());
     }
 
@@ -262,6 +311,24 @@ System::run(Tick limit)
         r.rowMisses = dram_->rowMisses();
         r.dramEnergyNj = dram_->energy(eq_.now()).total();
     }
+    r.faultsEnabled = injector_ != nullptr;
+    r.retryEnabled = resilient_ != nullptr;
+    if (injector_) {
+        r.faultLossInjected = injector_->lossInjected();
+        r.faultErrorInjected = injector_->errorInjected();
+        r.faultSpikeInjected = injector_->spikeInjected();
+        r.faultOutageDropped = injector_->outageDropped();
+    }
+    if (resilient_) {
+        r.retryAttempts = resilient_->retries();
+        r.retryTimeouts = resilient_->timeouts();
+        r.retryDedupDropped = resilient_->dedupDropped();
+        r.retryExhausted = resilient_->exhausted();
+        r.retryMaxAttempts = resilient_->maxAttempts();
+    }
+    if (ctrl_)
+        r.reqStreamFingerprint = ctrl_->reqStreamFingerprint();
+
     r.backendKind = backend_->kind();
     const mem::BackendStats bs = backend_->statsSnapshot();
     r.backendReadBursts = bs.readBursts;

@@ -50,8 +50,20 @@ class System
     void printStats(std::ostream &os);
 
     EventQueue &eventQueue() { return eq_; }
-    /** The memory backend the run is configured with. */
+    /** The base store (DRAM or net model), below any decorators. */
     mem::MemoryBackend &backend() { return *backend_; }
+    /** The backend the controller actually talks to: the resilience
+     *  stack's top when faults/retries are configured, else the base
+     *  store. */
+    mem::MemoryBackend &topBackend() { return *topBackend_; }
+    /** Null unless cfg.faults.enabled(). */
+    mem::FaultInjector *faultInjector() { return injector_.get(); }
+    /** Null unless a retry layer was built (explicitly via
+     *  cfg.retry.timeoutUs > 0, or implicitly with the faults). */
+    mem::ResilientBackend *resilientBackend()
+    {
+        return resilient_.get();
+    }
     /** The DRAM timing model; null when cfg.backendKind != dram. */
     dram::DramSystem *dram() { return dram_.get(); }
     /** Null in insecure mode. */
@@ -87,6 +99,13 @@ class System
     /** Set only for the DRAM backend (feeds energy/row stats). */
     std::unique_ptr<dram::DramSystem> dram_;
     std::unique_ptr<mem::MemoryBackend> backend_;
+    /** Optional resilience stack over backend_: the injector wraps
+     *  the store, the resilient layer wraps the injector. Declared
+     *  after backend_ so destruction unwinds outside-in. */
+    std::unique_ptr<mem::FaultInjector> injector_;
+    std::unique_ptr<mem::ResilientBackend> resilient_;
+    /** Whichever layer the controller/sink issues against. */
+    mem::MemoryBackend *topBackend_ = nullptr;
     std::unique_ptr<core::OramController> ctrl_;
     std::unique_ptr<workload::MemorySink> sink_;
     std::vector<std::unique_ptr<workload::CoreModel>> cores_;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -94,6 +95,89 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * A cancellable, re-armable one-shot timer over the EventQueue,
+ * implementing the generation-counter cancellation idiom the kernel
+ * comment above prescribes: cancel()/re-arm() bump a generation, and
+ * the already-queued event fires into a no-op when its generation is
+ * stale. Queue entries are never removed.
+ *
+ * Semantics (pinned by tests/test_util.cc):
+ *  - arm() on an armed timer replaces the pending callback (implicit
+ *    cancel + re-arm), including re-arming for the same tick;
+ *  - cancel() before the fire tick suppresses the callback entirely;
+ *  - cancel() *at* the fire tick, from an event scheduled before the
+ *    timer was armed, also suppresses it (same-tick FIFO: whichever
+ *    of fire/cancel was scheduled first wins, deterministically);
+ *  - the timer disarms itself just before the callback runs, so the
+ *    callback may re-arm the same timer (backoff chains).
+ *
+ * State lives behind a shared_ptr so a Timer may be moved (e.g. held
+ * in a container of pending requests) while queued closures keep a
+ * safe handle; destroying the Timer cancels it.
+ */
+class Timer
+{
+  public:
+    explicit Timer(EventQueue &eq)
+        : st_(std::make_shared<State>(State{&eq, 0, false}))
+    {
+    }
+
+    Timer(Timer &&) = default;
+    Timer &operator=(Timer &&) = default;
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+    ~Timer()
+    {
+        if (st_)
+            cancel();
+    }
+
+    /** Arm (or re-arm) to fire @p fn at absolute tick @p when. */
+    void
+    arm(Tick when, EventFn fn)
+    {
+        auto st = st_;
+        const std::uint64_t gen = ++st->gen;
+        st->armed = true;
+        st->eq->schedule(when, [st, gen, fn = std::move(fn)] {
+            if (st->gen != gen)
+                return; // cancelled or re-armed since
+            st->armed = false;
+            fn();
+        });
+    }
+
+    /** Arm (or re-arm) to fire @p fn @p delta ticks from now. */
+    void
+    armIn(Tick delta, EventFn fn)
+    {
+        arm(st_->eq->now() + delta, std::move(fn));
+    }
+
+    /** Suppress the pending callback, if any. Idempotent. */
+    void
+    cancel()
+    {
+        ++st_->gen;
+        st_->armed = false;
+    }
+
+    bool armed() const { return st_->armed; }
+
+  private:
+    struct State
+    {
+        EventQueue *eq;
+        std::uint64_t gen;
+        bool armed;
+    };
+
+    std::shared_ptr<State> st_;
 };
 
 } // namespace fp

@@ -95,6 +95,37 @@ netParams()
     return p;
 }
 
+TEST(NetBackendParams, TickConversionRoundsToNearest)
+{
+    // Boundary values pinning round-to-nearest (llround, half away
+    // from zero) in the double -> Tick conversions; plain truncation
+    // used to bias every non-representable latency low.
+    mem::NetBackendParams p;
+
+    // 64 B * 8 * 1e3 / 3 Gbps = 170666.67 ps: truncation said
+    // 170666, rounding says 170667.
+    p.linkGbps = 3.0;
+    EXPECT_EQ(p.serializationTicks(64), 170667u);
+    // 2/3 of a tick rounds up; 1/3 rounds down.
+    EXPECT_EQ(p.serializationTicks(1), 2667u);  // 2666.67 ps
+    p.linkGbps = 6.0;
+    EXPECT_EQ(p.serializationTicks(1), 1333u);  // 1333.33 ps
+
+    // Exactly representable values stay exact (the pre-fix test
+    // vectors elsewhere in this file are unchanged by the fix).
+    p.linkGbps = 8.0;
+    EXPECT_EQ(p.serializationTicks(256), 256'000u);
+
+    // One-way latency: 12.3456789 us = 12345678.9 ps rounds up.
+    p.oneWayLatencyUs = 12.3456789;
+    EXPECT_EQ(p.oneWayTicks(), 12'345'679u);
+    // Half a tick rounds away from zero, not down.
+    p.oneWayLatencyUs = 5e-7; // 0.5 ps
+    EXPECT_EQ(p.oneWayTicks(), 1u);
+    p.oneWayLatencyUs = 0.0;
+    EXPECT_EQ(p.oneWayTicks(), 0u);
+}
+
 TEST(NetBackend, SingleRequestPaysRttPlusSerialization)
 {
     EventQueue eq;

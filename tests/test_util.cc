@@ -511,6 +511,132 @@ TEST(EventQueue, RunWhile)
     EXPECT_EQ(fired, 3);
 }
 
+// --- timer ----------------------------------------------------------------
+
+TEST(Timer, FiresOnceAtDeadline)
+{
+    EventQueue eq;
+    Timer t(eq);
+    int fired = 0;
+    t.armIn(100, [&] { ++fired; });
+    EXPECT_TRUE(t.armed());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.armed());
+    eq.run(); // no residual events re-fire it
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelBeforeFireSuppresses)
+{
+    EventQueue eq;
+    Timer t(eq);
+    int fired = 0;
+    t.armIn(100, [&] { ++fired; });
+    eq.run(50);
+    t.cancel();
+    EXPECT_FALSE(t.armed());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    // The stale entry still drained from the queue (no leak).
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Timer, ReArmReplacesPendingCallback)
+{
+    EventQueue eq;
+    Timer t(eq);
+    int first = 0, second = 0;
+    t.arm(100, [&] { ++first; });
+    t.arm(200, [&] { ++second; });
+    eq.run();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(Timer, ReArmSameTickRunsOnlyNewCallback)
+{
+    EventQueue eq;
+    Timer t(eq);
+    int first = 0, second = 0;
+    t.arm(100, [&] { ++first; });
+    // Same deadline, new callback: the old entry must no-op even
+    // though both events sit at tick 100 (generation check, not
+    // queue position, decides).
+    t.arm(100, [&] { ++second; });
+    eq.run();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(Timer, FireVsCancelSameTickIsSchedulingOrder)
+{
+    // Same-tick FIFO: an event scheduled BEFORE the timer was armed
+    // runs first at that tick, so its cancel() wins...
+    {
+        EventQueue eq;
+        Timer t(eq);
+        int fired = 0;
+        eq.schedule(100, [&] { t.cancel(); });
+        t.arm(100, [&] { ++fired; });
+        eq.run();
+        EXPECT_EQ(fired, 0);
+    }
+    // ...and one scheduled AFTER loses: the timer fires first. The
+    // deadline machinery relies on this being deterministic.
+    {
+        EventQueue eq;
+        Timer t(eq);
+        int fired = 0;
+        t.arm(100, [&] { ++fired; });
+        eq.schedule(100, [&] { t.cancel(); });
+        eq.run();
+        EXPECT_EQ(fired, 1);
+    }
+}
+
+TEST(Timer, CallbackMayReArm)
+{
+    // Backoff chains re-arm the timer from inside its own callback
+    // (deadline -> backoff -> deadline ...).
+    EventQueue eq;
+    Timer t(eq);
+    std::vector<Tick> fires;
+    std::function<void()> chain = [&] {
+        fires.push_back(eq.now());
+        if (fires.size() < 3)
+            t.armIn(10, chain);
+    };
+    t.armIn(10, chain);
+    eq.run();
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, MoveKeepsPendingFire)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer a(eq);
+    a.armIn(5, [&] { ++fired; });
+    Timer b = std::move(a); // e.g. rehash of a container of Pendings
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(b.armed());
+}
+
+TEST(Timer, DestructionCancels)
+{
+    EventQueue eq;
+    int fired = 0;
+    {
+        Timer t(eq);
+        t.armIn(5, [&] { ++fired; });
+    }
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
 // --- table ----------------------------------------------------------------
 
 TEST(Table, AlignsColumns)

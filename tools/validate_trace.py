@@ -24,6 +24,14 @@ Stats checks:
   - counter-like fields never decrease (spot-checked on *.row_hits
     and *.real_accesses keys)
 
+Resilience-layer events (mem::FaultInjector / mem::ResilientBackend
+instants on the "resilience" track) are recognised by name; pass
+--require-events to assert that specific names actually occur, e.g.
+after a fault-injection smoke run:
+
+    tools/validate_trace.py --trace run.trace.json \
+        --require-events fault_loss,retry,retry_timeout
+
 Exit status 0 when everything passes; 1 with a message otherwise.
 """
 
@@ -33,11 +41,26 @@ import math
 import sys
 
 
+#: Instant events the fault-injection / retry layer emits on the
+#: "resilience" track (mem/fault_injector.cc, mem/resilient_backend.cc).
+#: Kept here so --require-events can reject typos early.
+RESILIENCE_EVENTS = {
+    "fault_loss",
+    "fault_error",
+    "fault_spike",
+    "fault_outage_drop",
+    "retry",
+    "retry_timeout",
+    "retry_dedup_drop",
+    "retry_exhausted",
+}
+
+
 def fail(msg):
     sys.exit(f"validate_trace: FAIL: {msg}")
 
 
-def validate_trace(path):
+def validate_trace(path, require_events=()):
     with open(path) as f:
         try:
             doc = json.load(f)
@@ -82,6 +105,12 @@ def validate_trace(path):
         if ph == "M" and ev["name"] == "thread_name":
             if not isinstance(ev.get("args", {}).get("name"), str):
                 fail(f"{where}: thread_name without args.name")
+
+    names = {ev["name"] for ev in events}
+    missing = [name for name in require_events if name not in names]
+    if missing:
+        fail(f"{path}: required events never occurred: "
+             f"{', '.join(missing)}")
 
     counts = {}
     for ev in events:
@@ -143,11 +172,25 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome-trace JSON file")
     ap.add_argument("--stats", help="interval-stats JSON-lines file")
+    ap.add_argument("--require-events",
+                    help="comma-separated event names that must occur "
+                         "in the trace (resilience-track names are "
+                         "checked against the known set)")
     args = ap.parse_args()
     if not args.trace and not args.stats:
         ap.error("nothing to do: pass --trace and/or --stats")
+    require = []
+    if args.require_events:
+        require = [n for n in args.require_events.split(",") if n]
+        if not args.trace:
+            ap.error("--require-events needs --trace")
+        for name in require:
+            looks_resilient = name.startswith(("fault_", "retry"))
+            if looks_resilient and name not in RESILIENCE_EVENTS:
+                ap.error(f"unknown resilience event '{name}' "
+                         f"(known: {', '.join(sorted(RESILIENCE_EVENTS))})")
     if args.trace:
-        validate_trace(args.trace)
+        validate_trace(args.trace, require)
     if args.stats:
         validate_stats(args.stats)
 
