@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/request_profiler.hh"
 #include "util/logging.hh"
 
 namespace fp::core
@@ -25,6 +26,8 @@ LabelQueue::insertReal(LeafLabel label, std::uint64_t token,
     entry.label = label;
     entry.dummy = false;
     entry.token = token;
+    if (prof_)
+        entry.enq = prof_->now();
 
     // Algorithm 1: a real request takes the slot of the first padding
     // dummy; the dummy was never revealed, so it simply vanishes.
@@ -145,6 +148,9 @@ LabelQueue::selectNext(LeafLabel current)
         trc_->counter(obs::Track::queues, "label_queue", "real",
                       static_cast<double>(realCount_));
     }
+
+    if (prof_ && !out.dummy)
+        prof_->sampleLabelResidency(out.enq, prof_->now());
 
     selections_.inc();
     if (out.dummy) {

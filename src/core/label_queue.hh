@@ -34,6 +34,11 @@
 #include "util/random.hh"
 #include "util/stats.hh"
 
+namespace fp::obs
+{
+class RequestProfiler;
+} // namespace fp::obs
+
 namespace fp::core
 {
 
@@ -52,6 +57,8 @@ struct LabelEntry
     std::uint64_t token = 0;
     /** Selection rounds lost to a dummy (the paper's Cnt field). */
     unsigned age = 0;
+    /** Insertion tick (profiler residency; 0 when not profiling). */
+    Tick enq = 0;
 };
 
 class LabelQueue
@@ -120,6 +127,9 @@ class LabelQueue
     /** Attach the event tracer (selection decision track). */
     void setTracer(obs::Tracer *tracer) { trc_ = tracer; }
 
+    /** Attach the request profiler (real-entry residency sampling). */
+    void setProfiler(obs::RequestProfiler *prof) { prof_ = prof; }
+
   private:
     mem::TreeGeometry geo_;
     std::size_t capacity_;
@@ -127,6 +137,7 @@ class LabelQueue
     DummySelectPolicy policy_;
     Rng rng_;
     obs::Tracer *trc_ = nullptr;
+    obs::RequestProfiler *prof_ = nullptr;
 
     std::deque<LabelEntry> entries_;
     std::size_t realCount_ = 0;

@@ -4,6 +4,7 @@
 
 #include "core/overlap.hh"
 #include "dram/dram_backend.hh"
+#include "obs/request_profiler.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
 
@@ -167,6 +168,16 @@ OramController::setTracer(obs::Tracer *tracer)
     }
 }
 
+void
+OramController::setProfiler(obs::RequestProfiler *prof)
+{
+    prof_ = prof;
+    labelQueue_.setProfiler(prof);
+    stash_.setProfiler(prof);
+    if (mac_)
+        mac_->setProfiler(prof);
+}
+
 bool
 OramController::canAccept() const
 {
@@ -191,6 +202,8 @@ OramController::request(oram::Op op, BlockAddr addr,
 
     auto result = addrQueue_.insert(std::move(entry));
     fp_assert(result.accepted, "address queue rejected with space");
+    if (prof_)
+        prof_->onArrival(id);
     if (result.cancelledId != 0) {
         // The superseded write is acknowledged immediately; the
         // younger write carries the live data from here on.
@@ -199,6 +212,8 @@ OramController::request(oram::Op op, BlockAddr addr,
     if (result.forwarded) {
         // Write-before-Read forwarding: done without an ORAM access.
         llcLatency_.sample(0.0);
+        if (prof_)
+            prof_->onComplete(id);
         if (cb)
             cb(eq_.now(), result.forwardData);
         return id;
@@ -251,6 +266,8 @@ OramController::respond(std::uint64_t llc_id,
     llc_.erase(it);
 
     llcLatency_.sample(fp::ticksToNs(eq_.now() - req.arrival));
+    if (prof_)
+        prof_->onComplete(llc_id);
     fp_assert(outstandingLlc_ > 0, "respond: LLC underflow");
     --outstandingLlc_;
     if (req.cb)
@@ -270,6 +287,8 @@ OramController::pumpFrontend()
         if (params_.oram.stashShortcut) {
             if (mem::Block *blk = stash_.find(e->addr)) {
                 stashShortcuts_.inc();
+                if (prof_)
+                    prof_->countStashShortcut();
                 if (trc_ && trc_->on(obs::TraceLevel::access))
                     trc_->instant(
                         obs::Track::cache, "stash_shortcut",
@@ -330,6 +349,8 @@ OramController::pumpFrontend()
             pending_->newLeaf = posMap_.remap(e->addr);
         }
         addrQueue_.markIssued(e->id);
+        if (prof_)
+            prof_->onIssue(e->id);
     }
 }
 
@@ -399,6 +420,8 @@ OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
         pending_ = incoming;
         writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
         dummyReplacements_.inc();
+        if (prof_)
+            prof_->countWritebackReplaced();
         // Case 1: a not-yet-committed padding dummy gives its slot
         // to the late-arriving real request.
         if (trc_ && trc_->on(obs::TraceLevel::access))
@@ -419,6 +442,8 @@ OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
         pending_ = incoming;
         writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
         pendingSwaps_.inc();
+        if (prof_)
+            prof_->countPendingSwap();
         // Case 3: a real pending is displaced by a better-overlapping
         // real newcomer and rejoins the pool.
         if (trc_ && trc_->on(obs::TraceLevel::access))
@@ -536,6 +561,9 @@ OramController::startRead()
     fp_dtrace(oram, "read  label=%llu start_level=%u%s",
               static_cast<unsigned long long>(current_->label),
               readStartLevel_, current_->dummy ? " (dummy)" : "");
+    if (prof_ && !current_->dummy &&
+        current_->chainIndex == params_.recursionDepth)
+        prof_->onReadStart(current_->llcId);
     dramBucketsThisRead_ = 0;
     fp_assert(outstandingReads_ == 0, "reads leak across accesses");
 
@@ -563,6 +591,8 @@ OramController::readBucketAt(unsigned level)
             integrityRead_[level] = bucket;
         ingestBucket(std::move(bucket));
         onChipBucketReads_.inc();
+        if (prof_)
+            prof_->countOnChipRead();
         return;
     }
     if (mac_ && mac_->inRange(level)) {
@@ -571,6 +601,8 @@ OramController::readBucketAt(unsigned level)
                 integrityRead_[level] = *bucket;
             ingestBucket(std::move(*bucket));
             onChipBucketReads_.inc();
+            if (prof_)
+                prof_->countOnChipRead();
             return;
         }
     }
@@ -639,6 +671,9 @@ OramController::finishRead()
                     readStartLevel_);
     dramReadLen_.sample(static_cast<double>(dramBucketsThisRead_));
     readDoneTick_ = eq_.now();
+    if (prof_ && !current_->dummy &&
+        current_->chainIndex == params_.recursionDepth)
+        prof_->onReadDone(current_->llcId);
 
     if (trc_ && trc_->on(obs::TraceLevel::access)) {
         trc_->complete(
@@ -727,6 +762,7 @@ OramController::startWrite()
     phase_ = Phase::writing;
     writePhaseActive_ = true;
     writeStartTick_ = eq_.now();
+    dramBucketsThisWrite_ = 0;
     fp_assert(outstandingWrites_ == 0, "writes leak across accesses");
 
     if (params_.enableMerging) {
@@ -807,6 +843,7 @@ OramController::writeBucketAt(unsigned level)
         return;
 
     dramBucketWrites_.inc();
+    ++dramBucketsThisWrite_;
     ++outstandingWrites_;
     mem::BackendRequest req;
     req.addr = layout_.physAddr(idx);
@@ -854,6 +891,13 @@ OramController::finishWrite()
         dummyAccesses_.inc();
     else
         realAccesses_.inc();
+    if (prof_) {
+        prof_->sampleWriteback(writeStartTick_, eq_.now());
+        prof_->onAccessDone(current_->dummy, readStartLevel_,
+                            writeStopLevel_, geo_.numLevels(),
+                            dramBucketsThisRead_,
+                            dramBucketsThisWrite_);
+    }
 
     if (revealTraceEnabled_) {
         revealTrace_.push_back({current_->label, readStartLevel_,

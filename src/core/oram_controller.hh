@@ -66,6 +66,11 @@ namespace fp::dram
 class DramSystem;
 } // namespace fp::dram
 
+namespace fp::obs
+{
+class RequestProfiler;
+} // namespace fp::obs
+
 namespace fp::core
 {
 
@@ -303,6 +308,13 @@ class OramController
      */
     void setTracer(obs::Tracer *tracer);
 
+    /**
+     * Attach the per-request lifecycle profiler; fans out to the
+     * label queue, stash, and MAC (the backend is wired separately by
+     * the System, which owns both sides of that seam). Null detaches.
+     */
+    void setProfiler(obs::RequestProfiler *prof);
+
   private:
     /** One ORAM access being processed or scheduled next. */
     struct ActiveAccess
@@ -430,6 +442,7 @@ class OramController
     unsigned dramBucketsThisRead_ = 0;
 
     // Write phase bookkeeping.
+    unsigned dramBucketsThisWrite_ = 0;
     unsigned writeStopLevel_ = 0;
     int nextWriteLevel_ = -1;     //!< Next level to issue (downward).
     unsigned outstandingWrites_ = 0;
@@ -440,6 +453,7 @@ class OramController
     std::vector<RevealedAccess> revealTrace_;
 
     obs::Tracer *trc_ = nullptr;
+    obs::RequestProfiler *prof_ = nullptr;
 
     // Stats.
     fp::Histogram llcLatency_;

@@ -47,6 +47,12 @@ expectedBestOverlap(const mem::TreeGeometry &geo, unsigned q)
     return e;
 }
 
+double
+expectedMergeSavedBuckets(const mem::TreeGeometry &geo, unsigned q)
+{
+    return 2.0 * expectedBestOverlap(geo, q);
+}
+
 unsigned
 macBottomLevel(const mem::TreeGeometry &geo,
                unsigned label_queue_size)

@@ -46,6 +46,19 @@ double expectedBestOverlap(const mem::TreeGeometry &geo,
 unsigned macBottomLevel(const mem::TreeGeometry &geo,
                         unsigned label_queue_size);
 
+/**
+ * Expected tree buckets a merged access saves over the naive 2L
+ * (full read + full refill) baseline with a @p q-entry label queue:
+ * the fork handle is skipped on the read AND elided from the previous
+ * refill, so each access saves about twice the expected best overlap.
+ * A loose analytic yardstick for the profiler's effectiveness
+ * counters (tests and the smoke bench sanity-check against it), not
+ * an exact model — dummy competition, aging promotions and chain
+ * spawns all perturb the realized overlap.
+ */
+double expectedMergeSavedBuckets(const mem::TreeGeometry &geo,
+                                 unsigned q);
+
 } // namespace fp::core
 
 #endif // FP_CORE_OVERLAP_HH

@@ -1,6 +1,9 @@
 #include "dram/dram_backend.hh"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/request_profiler.hh"
 
 namespace fp::dram
 {
@@ -13,7 +16,21 @@ DramBackend::access(mem::BackendRequest req)
     dreq.isWrite = req.isWrite;
     dreq.bursts = static_cast<unsigned>(
         std::max<std::uint64_t>(1, req.bytes / burstBytes()));
-    dreq.onComplete = std::move(req.onComplete);
+    if (prof_) {
+        // The DramSystem has no notion of the backend seam, so the
+        // service interval is sampled here by wrapping the completion:
+        // issue tick now, completion tick from the callback.
+        const Tick issued = prof_->now();
+        const bool isWrite = req.isWrite;
+        dreq.onComplete = [prof = prof_, issued, isWrite,
+                           cb = std::move(req.onComplete)](Tick t) {
+            prof->sampleBackendService(isWrite, issued, t);
+            if (cb)
+                cb(t);
+        };
+    } else {
+        dreq.onComplete = std::move(req.onComplete);
+    }
     dram_.access(std::move(dreq));
 }
 

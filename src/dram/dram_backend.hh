@@ -35,6 +35,10 @@ class DramBackend final : public mem::MemoryBackend
     {
         dram_.setTracer(tracer);
     }
+    void setProfiler(obs::RequestProfiler *prof) override
+    {
+        prof_ = prof;
+    }
     void resetStats() override { dram_.resetStats(); }
 
     std::uint64_t burstBytes() const override
@@ -51,6 +55,7 @@ class DramBackend final : public mem::MemoryBackend
 
   private:
     DramSystem &dram_;
+    obs::RequestProfiler *prof_ = nullptr;
 };
 
 } // namespace fp::dram

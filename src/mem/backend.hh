@@ -43,6 +43,7 @@
 namespace fp::obs
 {
 class Tracer;
+class RequestProfiler;
 } // namespace fp::obs
 
 namespace fp::mem
@@ -97,6 +98,15 @@ class MemoryBackend
 
     /** Attach the event tracer (null detaches). */
     virtual void setTracer(obs::Tracer *tracer) = 0;
+
+    /**
+     * Attach the per-request profiler (null detaches). Backends that
+     * participate sample their service interval — admission to
+     * completion — into the profiler's backend_read/backend_write
+     * histograms; the default no-op keeps test doubles and simple
+     * models unaffected.
+     */
+    virtual void setProfiler(obs::RequestProfiler *) {}
 
     virtual void resetStats() = 0;
 

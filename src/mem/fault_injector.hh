@@ -119,6 +119,13 @@ class FaultInjector final : public MemoryBackend
         return inner_.statsSnapshot();
     }
     void setTracer(obs::Tracer *tracer) override;
+    /** The injector adds no service time of its own to successful
+     *  deliveries beyond what it injects; the wrapped store samples
+     *  its own intervals, so just forward. */
+    void setProfiler(obs::RequestProfiler *prof) override
+    {
+        inner_.setProfiler(prof);
+    }
     void resetStats() override;
 
     std::uint64_t burstBytes() const override

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/request_profiler.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -118,6 +119,8 @@ NetBackend::issue(BackendRequest req, Tick arrival)
             bytesRead_.inc(req.bytes);
         }
         latencyNs_.sample(ticksToNs(t - arrival));
+        if (prof_)
+            prof_->sampleBackendService(req.isWrite, arrival, t);
         if (trc_ && trc_->on(obs::TraceLevel::full)) {
             trc_->complete(obs::Track::dram0,
                            req.isWrite ? "net_write" : "net_read",

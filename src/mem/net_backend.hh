@@ -90,6 +90,10 @@ class NetBackend final : public MemoryBackend
     }
     BackendStats statsSnapshot() const override;
     void setTracer(obs::Tracer *tracer) override { trc_ = tracer; }
+    void setProfiler(obs::RequestProfiler *prof) override
+    {
+        prof_ = prof;
+    }
     void resetStats() override;
 
     std::uint64_t burstBytes() const override
@@ -122,6 +126,7 @@ class NetBackend final : public MemoryBackend
     NetBackendParams params_;
     EventQueue &eq_;
     obs::Tracer *trc_ = nullptr;
+    obs::RequestProfiler *prof_ = nullptr;
 
     std::deque<Waiting> waiting_;
     unsigned inFlight_ = 0;

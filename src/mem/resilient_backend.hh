@@ -86,6 +86,12 @@ class ResilientBackend final : public MemoryBackend
         return inner_.statsSnapshot();
     }
     void setTracer(obs::Tracer *tracer) override;
+    /** Retries re-enter the wrapped store, which samples each
+     *  attempt's service interval itself; just forward. */
+    void setProfiler(obs::RequestProfiler *prof) override
+    {
+        inner_.setProfiler(prof);
+    }
     void resetStats() override;
 
     std::uint64_t burstBytes() const override

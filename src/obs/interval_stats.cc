@@ -55,6 +55,17 @@ IntervalStats::sample(Tick now)
     line += '\n';
     std::fwrite(line.data(), 1, line.size(), file_);
     ++samples_;
+    lastSampleTick_ = now;
+}
+
+void
+IntervalStats::finish(Tick now)
+{
+    if (closed_)
+        return;
+    if (samples_ == 0 || now > lastSampleTick_)
+        sample(now);
+    close();
 }
 
 void

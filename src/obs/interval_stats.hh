@@ -62,6 +62,16 @@ class IntervalStats
     /** Write one snapshot line for simulated time @p now. */
     void sample(Tick now);
 
+    /**
+     * End-of-run flush: write a final snapshot covering the partial
+     * interval since the last periodic sample — but only if @p now is
+     * actually past the last sampled tick (a run ending exactly on an
+     * interval boundary must not emit a duplicate, which would break
+     * the strictly-increasing tick check in tools/validate_trace.py)
+     * — then close the file.
+     */
+    void finish(Tick now);
+
     /** Flush and close the file; further samples are dropped. */
     void close();
 
@@ -76,6 +86,7 @@ class IntervalStats
     std::FILE *file_ = nullptr;
     std::function<bool()> keepGoing_;
     std::uint64_t samples_ = 0;
+    Tick lastSampleTick_ = 0;
     bool closed_ = false;
 };
 

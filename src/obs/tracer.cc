@@ -185,6 +185,34 @@ Tracer::instant(Track track, const char *name,
 }
 
 void
+Tracer::async(Track track, const char *name, const char *ph,
+              const char *cat, std::uint64_t id,
+              std::initializer_list<TraceArg> args)
+{
+    if (finished_ || level_ == TraceLevel::off)
+        return;
+    begin(track, name, ph);
+    buf_ += ",\"cat\":\"";
+    appendEscaped(cat);
+    buf_ += '"';
+    char tmp[48];
+    std::snprintf(tmp, sizeof(tmp), ",\"id\":%" PRIu64, id);
+    buf_ += tmp;
+    if (args.size() > 0) {
+        beginArgs();
+        bool first = true;
+        for (const TraceArg &a : args) {
+            if (!first)
+                buf_ += ',';
+            first = false;
+            appendArg(a);
+        }
+        buf_ += '}';
+    }
+    end();
+}
+
+void
 Tracer::counter(Track track, const char *name, const char *series,
                 double value)
 {

@@ -50,6 +50,7 @@ enum class Track : unsigned
     stash = 5,      //!< stash occupancy counter track
     queues = 6,     //!< label/address queue occupancy counters
     resilience = 7, //!< fault injections, retries, timeouts, dedups
+    requests = 8,   //!< per-request lifecycle async spans (profiler)
     /** Per-channel DRAM command tracks: dram0 + channel id. */
     dram0 = 16,
 };
@@ -133,6 +134,39 @@ class Tracer
      *  series name is @p name; one value per call. */
     void counter(Track track, const char *name, const char *series,
                  double value);
+
+    /**
+     * Async (nestable) event at the current tick: ph "b" (begin),
+     * "n" (instant) or "e" (end), correlated across emissions by
+     * (@p cat, @p id). This is what lets one logical request be
+     * followed across pipeline stages in the trace viewer even
+     * though many requests are interleaved on one track.
+     */
+    void async(Track track, const char *name, const char *ph,
+               const char *cat, std::uint64_t id,
+               std::initializer_list<TraceArg> args = {});
+
+    void
+    asyncBegin(Track track, const char *name, const char *cat,
+               std::uint64_t id,
+               std::initializer_list<TraceArg> args = {})
+    {
+        async(track, name, "b", cat, id, args);
+    }
+    void
+    asyncInstant(Track track, const char *name, const char *cat,
+                 std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {})
+    {
+        async(track, name, "n", cat, id, args);
+    }
+    void
+    asyncEnd(Track track, const char *name, const char *cat,
+             std::uint64_t id,
+             std::initializer_list<TraceArg> args = {})
+    {
+        async(track, name, "e", cat, id, args);
+    }
 
     /** Flush buffered events and close the JSON document. Safe to
      *  call more than once; further events are dropped. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/request_profiler.hh"
 #include "util/logging.hh"
 
 namespace fp::oram
@@ -83,6 +84,8 @@ Stash::evictForBucket(LeafLabel path_label, unsigned level,
         out.push_back(std::move(it->second));
         blocks_.erase(it);
     }
+    if (prof_)
+        prof_->sampleEvictedPerBucket(out.size());
     return out;
 }
 

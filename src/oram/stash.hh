@@ -25,6 +25,11 @@
 #include "obs/tracer.hh"
 #include "util/stats.hh"
 
+namespace fp::obs
+{
+class RequestProfiler;
+} // namespace fp::obs
+
 namespace fp::oram
 {
 
@@ -77,6 +82,9 @@ class Stash
     /** Attach the event tracer (occupancy counter track). */
     void setTracer(obs::Tracer *tracer) { trc_ = tracer; }
 
+    /** Attach the request profiler (eviction-yield sampling). */
+    void setProfiler(obs::RequestProfiler *prof) { prof_ = prof; }
+
     const fp::Histogram &occupancy() const { return occupancyHist_; }
     std::uint64_t overflowEvents() const { return overflows_.value(); }
     std::size_t peakSize() const { return peak_; }
@@ -94,6 +102,7 @@ class Stash
     std::unordered_map<BlockAddr, mem::Block> blocks_;
     std::size_t peak_ = 0;
     obs::Tracer *trc_ = nullptr;
+    obs::RequestProfiler *prof_ = nullptr;
 
     fp::Histogram occupancyHist_;
     fp::Counter overflows_;

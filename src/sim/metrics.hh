@@ -19,6 +19,7 @@
 
 #include "core/oram_controller.hh"
 #include "dram/dram_system.hh"
+#include "obs/request_profiler.hh"
 
 namespace fp::sim
 {
@@ -118,6 +119,14 @@ struct RunResult
     // Caching.
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+
+    // Per-request profiling (--profile-requests). Serialised to JSON
+    // only when profiled, so profiling-off output stays
+    // byte-identical to the historical format.
+    bool profiled = false;
+    std::uint64_t profiledRequests = 0;
+    std::vector<obs::ProfileStageSummary> profileStages;
+    obs::ProfileEffectiveness profileEffectiveness;
 
     double totalAccesses() const
     {

@@ -45,6 +45,11 @@ applyObsFlags(SimConfig &cfg, const CliArgs &args)
     fp_assert(cfg.obs.statsIntervalTicks > 0,
               "--stats-interval must be positive");
 
+    if (args.has("profile-requests"))
+        cfg.obs.profileRequests = true;
+    cfg.obs.profileOut =
+        args.getString("profile-out", cfg.obs.profileOut);
+
     if (args.has("trace-level")) {
         std::string lvl = args.getString("trace-level", "access");
         if (lvl == "off" || lvl == "0")

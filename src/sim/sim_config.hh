@@ -40,9 +40,17 @@ struct ObsConfig
     std::string statsOut;
     /** Snapshot period in ticks (100 us simulated by default). */
     Tick statsIntervalTicks = 100'000'000;
+    /** Per-request lifecycle profiling (obs::RequestProfiler). */
+    bool profileRequests = false;
+    /** Full profile-report JSON path; implies profileRequests. */
+    std::string profileOut;
 
     bool traceEnabled() const { return !traceOut.empty(); }
     bool statsEnabled() const { return !statsOut.empty(); }
+    bool profilingEnabled() const
+    {
+        return profileRequests || !profileOut.empty();
+    }
 };
 
 /** Which mem::MemoryBackend implementation serves the controller. */
@@ -131,6 +139,10 @@ struct SimConfig
  *   --trace-level=LVL    "access" (default) or "full"; also 0/1/2
  *   --stats-out=PATH     write interval-stats JSON lines
  *   --stats-interval=T   sampling period in ticks (1 tick = 1 ps)
+ *   --profile-requests   per-request lifecycle profiling into the
+ *                        RunResult's "profile" block
+ *   --profile-out=PATH   full profile report JSON (histogram buckets
+ *                        included); implies --profile-requests
  *
  * Unrecognised level names are fatal; absent flags leave defaults.
  */

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
 #include "dram/dram_backend.hh"
@@ -109,6 +110,14 @@ System::System(const SimConfig &cfg,
             cfg_.obs.statsOut, cfg_.obs.statsIntervalTicks,
             registry_);
     }
+    if (cfg_.obs.profilingEnabled() && !cfg_.insecure) {
+        // The profiler tracks ORAM pipeline milestones, so insecure
+        // runs (no controller) have nothing for it to measure.
+        profiler_ = std::make_unique<obs::RequestProfiler>(
+            eq_.nowPtr(), cfg_.controller.bucketBytes());
+        if (tracer_)
+            profiler_->setTracer(tracer_.get());
+    }
 
     if (cfg_.backendKind == BackendKind::dram) {
         dram_ = std::make_unique<dram::DramSystem>(cfg_.dram, eq_);
@@ -141,6 +150,8 @@ System::System(const SimConfig &cfg,
     }
     if (tracer_)
         topBackend_->setTracer(tracer_.get());
+    if (profiler_)
+        topBackend_->setProfiler(profiler_.get());
 
     if (cfg_.insecure) {
         // The insecure baseline's MSHR-equivalent depth scales with
@@ -154,6 +165,8 @@ System::System(const SimConfig &cfg,
             cfg_.controller, eq_, *topBackend_);
         if (tracer_)
             ctrl_->setTracer(tracer_.get());
+        if (profiler_)
+            ctrl_->setProfiler(profiler_.get());
         sink_ = std::make_unique<OramSink>(*ctrl_);
     }
 
@@ -329,6 +342,21 @@ System::run(Tick limit)
     if (ctrl_)
         r.reqStreamFingerprint = ctrl_->reqStreamFingerprint();
 
+    if (profiler_) {
+        r.profiled = true;
+        r.profiledRequests = profiler_->completed();
+        r.profileStages = profiler_->stageSummaries();
+        r.profileEffectiveness = profiler_->effectiveness();
+        if (!cfg_.obs.profileOut.empty()) {
+            std::ofstream out(cfg_.obs.profileOut);
+            if (!out) {
+                fp_fatal("cannot open --profile-out file '%s'",
+                         cfg_.obs.profileOut.c_str());
+            }
+            out << profiler_->reportJson() << '\n';
+        }
+    }
+
     r.backendKind = backend_->kind();
     const mem::BackendStats bs = backend_->statsSnapshot();
     r.backendReadBursts = bs.readBursts;
@@ -338,9 +366,10 @@ System::run(Tick limit)
     r.backendAvgLatencyNs = bs.avgLatencyNs;
 
     if (intervalStats_) {
-        // Final snapshot at the end-of-run tick, then seal the file.
-        intervalStats_->sample(eq_.now());
-        intervalStats_->close();
+        // Flush the final partial interval (skipped when the run ends
+        // exactly on a sample tick, which would emit a duplicate) and
+        // seal the file.
+        intervalStats_->finish(eq_.now());
     }
     if (tracer_)
         tracer_->finish();

@@ -15,6 +15,7 @@
 #include "dram/dram_system.hh"
 #include "mem/backend.hh"
 #include "obs/interval_stats.hh"
+#include "obs/request_profiler.hh"
 #include "obs/tracer.hh"
 #include "sim/metrics.hh"
 #include "sim/sim_config.hh"
@@ -72,6 +73,9 @@ class System
     obs::Tracer *tracer() { return tracer_.get(); }
     /** Null unless cfg.obs.statsOut was set. */
     obs::IntervalStats *intervalStats() { return intervalStats_.get(); }
+    /** Null unless per-request profiling is on (and not insecure:
+     *  the profiler follows ORAM pipeline milestones). */
+    obs::RequestProfiler *profiler() { return profiler_.get(); }
     /** This system's statistics registry (instance-scoped so several
      *  Systems can coexist, e.g. on sweep worker threads). */
     const StatRegistry &statRegistry() const { return registry_; }
@@ -96,6 +100,7 @@ class System
     EventQueue eq_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalStats> intervalStats_;
+    std::unique_ptr<obs::RequestProfiler> profiler_;
     /** Set only for the DRAM backend (feeds energy/row stats). */
     std::unique_ptr<dram::DramSystem> dram_;
     std::unique_ptr<mem::MemoryBackend> backend_;

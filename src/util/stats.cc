@@ -35,6 +35,22 @@ Average::reset()
     count_ = 0;
 }
 
+void
+Average::merge(const Average &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
 Histogram::Histogram(std::size_t num_buckets, double bucket_width)
     : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
 {
@@ -77,11 +93,38 @@ Histogram::percentile(double frac) const
         return avg_.min();
     std::uint64_t seen = underflow_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (seen + buckets_[i] >= target) {
+            // Interpolate inside the containing bucket: the rank
+            // advances linearly through the bucket's samples, so a
+            // tail quantile (p99.9) lands between edges instead of
+            // snapping to the next one. Clamped to the exact extrema
+            // so sparse buckets cannot report values outside the
+            // observed range.
+            double within = static_cast<double>(target - seen) /
+                            static_cast<double>(buckets_[i]);
+            double v =
+                (static_cast<double>(i) + within) * bucketWidth_;
+            return std::min(std::max(v, avg_.min()), avg_.max());
+        }
         seen += buckets_[i];
-        if (seen >= target)
-            return (static_cast<double>(i) + 1.0) * bucketWidth_;
     }
     return avg_.max();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    fp_assert(buckets_.size() == other.buckets_.size() &&
+                  bucketWidth_ == other.bucketWidth_,
+              "Histogram::merge: shape mismatch (%zu x %g vs %zu x "
+              "%g)",
+              buckets_.size(), bucketWidth_, other.buckets_.size(),
+              other.bucketWidth_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    underflow_ += other.underflow_;
+    avg_.merge(other.avg_);
 }
 
 void

@@ -54,6 +54,9 @@ class Average
     std::uint64_t count() const { return count_; }
     void reset();
 
+    /** Fold @p other in, as if its samples had been taken here. */
+    void merge(const Average &other);
+
   private:
     double sum_ = 0.0;
     double min_ = 0.0;
@@ -82,9 +85,19 @@ class Histogram
     /**
      * Value below which the given fraction of samples fall.
      * percentile(0.0) is the exact minimum, percentile(1.0) the
-     * exact maximum; interior fractions resolve to a bucket edge.
+     * exact maximum; interior fractions interpolate linearly within
+     * the containing bucket (so tail quantiles like p99.9 resolve to
+     * sub-bucket precision instead of collapsing onto bucket edges).
      */
     double percentile(double frac) const;
+
+    /**
+     * Fold @p other in, as if its samples had been taken here. Both
+     * histograms must share the same shape (bucket count and width);
+     * used to combine per-thread histograms after a SweepRunner
+     * --jobs fan-out.
+     */
+    void merge(const Histogram &other);
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
     /** Samples below zero (kept out of bucket 0). */

@@ -287,6 +287,63 @@ TEST(Stats, HistogramPercentileWithUnderflow)
     EXPECT_GE(h.percentile(0.9), 2.0);
 }
 
+TEST(Stats, HistogramTailPercentileInterpolates)
+{
+    Histogram h(10, 10.0);
+    // 1000 evenly spread samples over [0, 100): exact quantiles are
+    // known, and p99.9 must resolve inside the last bucket instead of
+    // collapsing onto its edge.
+    for (int i = 0; i < 1000; ++i)
+        h.sample(i * 0.1);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 0.5);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 0.5);
+    EXPECT_NEAR(h.percentile(0.999), 99.9, 0.5);
+    EXPECT_GT(h.percentile(0.999), h.percentile(0.99));
+    EXPECT_LE(h.percentile(0.999), h.max());
+}
+
+TEST(Stats, HistogramMergeMatchesConcatenation)
+{
+    Histogram a(16, 5.0), b(16, 5.0), both(16, 5.0);
+    Rng rng(99);
+    for (int i = 0; i < 400; ++i) {
+        double v = rng.uniformDouble() * 100.0 - 10.0; // underflow too
+        (i % 2 ? a : b).sample(v);
+        both.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.underflow(), both.underflow());
+    EXPECT_EQ(a.overflow(), both.overflow());
+    EXPECT_EQ(a.buckets(), both.buckets());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    EXPECT_DOUBLE_EQ(a.min(), both.min());
+    EXPECT_DOUBLE_EQ(a.max(), both.max());
+    for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentile(q), both.percentile(q)) << q;
+}
+
+TEST(Stats, AverageMerge)
+{
+    Average a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+    Average empty;
+    a.merge(empty); // merging nothing changes nothing
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a); // merging into empty adopts the other side
+    EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+    EXPECT_EQ(empty.count(), 3u);
+}
+
 TEST(Stats, GaugeSamplesAtRenderTime)
 {
     int depth = 3;

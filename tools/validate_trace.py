@@ -12,9 +12,14 @@ Trace checks (the subset of the trace-event format Perfetto and
 chrome://tracing rely on):
   - top level is {"traceEvents": [...]}
   - every event has name/ph/ts/pid/tid with the right types
-  - ph is one of M (metadata), X (complete), i (instant), C (counter)
+  - ph is one of M (metadata), X (complete), i (instant), C (counter),
+    b/n/e (nestable async begin/instant/end)
   - X events carry a non-negative dur; i events carry a scope
   - C events carry a one-entry numeric args object
+  - b/n/e events carry a string "cat" and a numeric "id"; within each
+    (cat, id) pair there is exactly one begin and one end, the end
+    does not precede the begin, every instant lies inside the span,
+    and no span is left open (every profiled request completed)
   - timestamps are non-negative and finite
 
 Stats checks:
@@ -55,6 +60,16 @@ RESILIENCE_EVENTS = {
     "retry_exhausted",
 }
 
+#: Async lifecycle events the per-request profiler emits on the
+#: "requests" track (obs/request_profiler.cc): a "request" span
+#: (b/e) with issue / read_start / read_done instants inside it.
+PROFILER_EVENTS = {
+    "request",
+    "issue",
+    "read_start",
+    "read_done",
+}
+
 
 def fail(msg):
     sys.exit(f"validate_trace: FAIL: {msg}")
@@ -73,7 +88,8 @@ def validate_trace(path, require_events=()):
     if not isinstance(events, list):
         fail(f"{path}: traceEvents must be an array")
 
-    known_ph = {"M", "X", "i", "C"}
+    known_ph = {"M", "X", "i", "C", "b", "n", "e"}
+    spans = {}  # (cat, id) -> {"b": ts|None, "e": ts|None, "n": [ts]}
     for i, ev in enumerate(events):
         where = f"{path}: event {i}"
         if not isinstance(ev, dict):
@@ -105,6 +121,43 @@ def validate_trace(path, require_events=()):
         if ph == "M" and ev["name"] == "thread_name":
             if not isinstance(ev.get("args", {}).get("name"), str):
                 fail(f"{where}: thread_name without args.name")
+        if ph in ("b", "n", "e"):
+            if not isinstance(ev.get("cat"), str):
+                fail(f"{where}: async event needs a string 'cat'")
+            flow_id = ev.get("id")
+            if (not isinstance(flow_id, (int, float)) or
+                    isinstance(flow_id, bool)):
+                fail(f"{where}: async event needs a numeric 'id'")
+            span = spans.setdefault((ev["cat"], flow_id),
+                                    {"b": None, "e": None, "n": []})
+            if ph == "b":
+                if span["b"] is not None:
+                    fail(f"{where}: duplicate begin for "
+                         f"{ev['cat']}:{flow_id}")
+                span["b"] = ev["ts"]
+            elif ph == "e":
+                if span["e"] is not None:
+                    fail(f"{where}: duplicate end for "
+                         f"{ev['cat']}:{flow_id}")
+                span["e"] = ev["ts"]
+            else:
+                span["n"].append((ev["ts"], i))
+
+    for (cat, flow_id), span in spans.items():
+        what = f"{path}: async span {cat}:{flow_id}"
+        if span["b"] is None:
+            fail(f"{what}: end/instant without a begin")
+        if span["e"] is None:
+            fail(f"{what}: begin without an end "
+                 f"(request never completed)")
+        if span["e"] < span["b"]:
+            fail(f"{what}: end ts {span['e']} precedes begin "
+                 f"ts {span['b']}")
+        for ts, i in span["n"]:
+            if not span["b"] <= ts <= span["e"]:
+                fail(f"{path}: event {i}: instant ts {ts} outside "
+                     f"span {cat}:{flow_id} "
+                     f"[{span['b']}, {span['e']}]")
 
     names = {ev["name"] for ev in events}
     missing = [name for name in require_events if name not in names]
@@ -189,6 +242,11 @@ def main():
             if looks_resilient and name not in RESILIENCE_EVENTS:
                 ap.error(f"unknown resilience event '{name}' "
                          f"(known: {', '.join(sorted(RESILIENCE_EVENTS))})")
+            looks_profiler = (name == "request" or
+                              name.startswith(("read_", "issue")))
+            if looks_profiler and name not in PROFILER_EVENTS:
+                ap.error(f"unknown profiler event '{name}' "
+                         f"(known: {', '.join(sorted(PROFILER_EVENTS))})")
     if args.trace:
         validate_trace(args.trace, require)
     if args.stats:
