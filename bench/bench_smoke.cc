@@ -1,13 +1,14 @@
 /**
  * @file
- * The CI smoke benchmark: four pinned configuration points small
+ * The CI smoke benchmark: five pinned configuration points small
  * enough to finish in seconds, run with per-request profiling on, and
  * dumped as machine-readable JSON for the bench-baseline regression
  * gate (tools/bench_baseline.py compares the output against
  * tools/baselines/BENCH_smoke.baseline.json).
  *
  * The points are deliberately frozen — traditional Path ORAM, Fork
- * Path merging at two queue depths, and merging + MAC, all on Mix3 at
+ * Path merging at two queue depths, merging + MAC, and a sharded
+ * merging point (4 shards on the network store), all on Mix3 at
  * requests=150 / leaf-level=14 — so the baseline file stays
  * meaningful across commits. Runs are deterministic at any --jobs
  * (SweepRunner contract), so the JSON is byte-stable on one machine
@@ -75,6 +76,16 @@ main(int argc, char **argv)
     points.push_back(sim::pointFromMix(
         "merge_mac_q64", sim::withMergeMac(base, 128 * 1024, 64),
         mix));
+    {
+        // Sharded front-end on the network store: four independent
+        // shards, each with its own pipe (the config where sharding
+        // actually moves throughput, and the one CI should gate).
+        sim::SimConfig sharded = sim::withMergeOnly(base, 64);
+        sharded.backendKind = sim::BackendKind::net;
+        sharded.shards = 4;
+        points.push_back(
+            sim::pointFromMix("shards4_net_q64", sharded, mix));
+    }
 
     std::vector<std::string> names;
     for (const auto &p : points)

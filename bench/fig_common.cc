@@ -37,6 +37,8 @@ parseOptions(const CliArgs &args)
     opt.net = probe.net;
     opt.faults = probe.faults;
     opt.retry = probe.retry;
+    opt.shards = probe.shards;
+    opt.shardWindow = probe.shardWindow;
 
     std::string mixes = args.getString("mixes", "");
     if (mixes.empty()) {
@@ -61,6 +63,8 @@ baseConfig(const BenchOptions &opt)
     cfg.net = opt.net;
     cfg.faults = opt.faults;
     cfg.retry = opt.retry;
+    cfg.shards = opt.shards;
+    cfg.shardWindow = opt.shardWindow;
     return cfg;
 }
 

@@ -17,7 +17,8 @@
  * --net-latency-us, --net-gbps, --net-window, and the fault/retry
  * flags --fault-loss-rate, --fault-error-rate, --fault-spike-us,
  * --fault-spike-rate, --fault-outage, --fault-seed,
- * --retry-timeout-us, --retry-max, --retry-backoff), applied to every
+ * --retry-timeout-us, --retry-max, --retry-backoff, and the sharding
+ * flags --shards, --shard-window), applied to every
  * run the bench performs. The default --backend=dram reproduces the
  * paper's DDR3 numbers byte for byte; --backend=net reruns the same
  * experiment against the network/cloud store model.
@@ -53,6 +54,8 @@ struct BenchOptions
     mem::NetBackendParams net;
     mem::FaultParams faults;
     mem::RetryParams retry;
+    unsigned shards = 1;
+    unsigned shardWindow = 16;
     sim::SweepOptions sweep;
 };
 

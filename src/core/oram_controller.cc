@@ -184,6 +184,18 @@ OramController::canAccept() const
     return !addrQueue_.full();
 }
 
+void
+OramController::setRequestIdStream(std::uint64_t first,
+                                   std::uint64_t stride)
+{
+    fp_assert(first != 0 && stride != 0,
+              "setRequestIdStream: ids must be non-zero and advance");
+    fp_assert(nextId_ == 1 && llc_.empty(),
+              "setRequestIdStream: requests already issued");
+    nextId_ = first;
+    idStride_ = stride;
+}
+
 std::uint64_t
 OramController::request(oram::Op op, BlockAddr addr,
                         std::vector<std::uint8_t> payload,
@@ -192,7 +204,8 @@ OramController::request(oram::Op op, BlockAddr addr,
     if (addrQueue_.full())
         return 0;
 
-    std::uint64_t id = nextId_++;
+    std::uint64_t id = nextId_;
+    nextId_ += idStride_;
     AddressEntry entry;
     entry.id = id;
     entry.addr = addr;

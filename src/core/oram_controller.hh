@@ -214,6 +214,16 @@ class OramController
     /** Average DRAM busy time per ORAM access (ns, read+write). */
     double avgDramServiceNs() const { return dramService_.mean(); }
 
+    // Underlying running averages, for cross-shard aggregation via
+    // Average::merge (a mean of per-shard means would weight shards
+    // equally regardless of how many accesses each one served).
+    const fp::Average &readPathLengthStat() const { return readLen_; }
+    const fp::Average &dramBucketsReadStat() const
+    {
+        return dramReadLen_;
+    }
+    const fp::Average &dramServiceStat() const { return dramService_; }
+
     std::uint64_t realAccesses() const { return realAccesses_.value(); }
     std::uint64_t dummyAccessesRun() const
     {
@@ -314,6 +324,17 @@ class OramController
      * the System, which owns both sides of that seam). Null detaches.
      */
     void setProfiler(obs::RequestProfiler *prof);
+
+    /**
+     * Make this controller hand out LLC request ids @p first,
+     * @p first + @p stride, @p first + 2*@p stride, ... instead of
+     * the default 1, 2, 3, ... Shard s of a core::ShardedOram uses
+     * (s + 1, num_shards) so ids are globally unique across shards
+     * (and never 0, the rejection sentinel) — required by the
+     * profiler's async trace spans, which key on the id. Call before
+     * the first request.
+     */
+    void setRequestIdStream(std::uint64_t first, std::uint64_t stride);
 
   private:
     /** One ORAM access being processed or scheduled next. */
@@ -416,6 +437,7 @@ class OramController
 
     std::unordered_map<std::uint64_t, LlcRequest> llc_;
     std::uint64_t nextId_ = 1;
+    std::uint64_t idStride_ = 1;
     std::size_t outstandingLlc_ = 0;
 
     /** Real accesses parked in the label queue, keyed by token. */

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sharded ORAM front-end: S independent Fork Path ORAM shards behind
+ * one dispatcher.
+ *
+ * A single OramController serializes every access behind one tree and
+ * one backend pipe, so fork-path savings cannot translate into
+ * throughput once the backend is the bottleneck. Partitioned ORAMs
+ * (e.g. Palermo, and the cloud-storage Path ORAM variants) exploit the
+ * observation that obliviousness is preserved per partition when the
+ * block-to-partition assignment is a public function of the (already
+ * revealed) block identifier: each shard is a complete, independent
+ * ORAM — own TreeGeometry, OramController (stash, PLB, label queue),
+ * and mem::MemoryBackend instance — and the adversary learns nothing
+ * beyond which shard served an access, which the fixed hash already
+ * made public.
+ *
+ * The dispatcher:
+ *
+ *  - routes a block address to shard splitmix64(addr) % S (a fixed,
+ *    balanced, data-independent hash);
+ *  - enforces a bounded per-shard inflight window so one hot shard
+ *    cannot absorb the whole LLC request budget while others idle;
+ *  - completes requests out of order: each shard answers through its
+ *    own callback chain, in its own time;
+ *  - leaves fork-path merging entirely inside each shard, where
+ *    consecutive accesses to the same tree still overlap.
+ *
+ * Shard RNG streams are derived with splitmix64 over the shard index
+ * (see shardSeed), so they are deterministic for a given config,
+ * pairwise distinct, and independent of any host-side concurrency.
+ */
+
+#ifndef FP_CORE_SHARDED_ORAM_HH
+#define FP_CORE_SHARDED_ORAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/oram_controller.hh"
+
+namespace fp::core
+{
+
+struct ShardedOramParams
+{
+    /** Number of independent ORAM shards (>= 1). */
+    unsigned shards = 2;
+    /** Max LLC requests in flight per shard before the dispatcher
+     *  rejects (backpressure toward the cores). */
+    unsigned shardWindow = 16;
+};
+
+class ShardedOram
+{
+  public:
+    using DataCallback = OramController::DataCallback;
+
+    /**
+     * Build S shards over @p ctrl_params. Each shard gets a derived
+     * oram seed (shardSeed over the base seed), an id stream
+     * (s + 1 step S, so ids are globally unique and never 0), and
+     * exclusive use of backends[s]. Shard component StatGroups are
+     * constructed under a StatNameScope "s<N>." prefix so one
+     * StatRegistry can hold every shard without key collisions.
+     *
+     * @param backends One memory backend per shard; must outlive this.
+     */
+    ShardedOram(const ShardedOramParams &params,
+                const ControllerParams &ctrl_params, EventQueue &eq,
+                const std::vector<mem::MemoryBackend *> &backends);
+
+    ShardedOram(const ShardedOram &) = delete;
+    ShardedOram &operator=(const ShardedOram &) = delete;
+
+    /** Home shard of a block: splitmix64(addr) % shards. */
+    static unsigned shardOf(BlockAddr addr, unsigned shards);
+
+    /**
+     * Derived oram seed of shard @p shard over @p base_seed.
+     * splitmix64 is bijective and the inputs base + (s+1) * gamma are
+     * pairwise distinct, so no two shards can share a raw seed.
+     */
+    static std::uint64_t shardSeed(std::uint64_t base_seed,
+                                   unsigned shard);
+
+    /** True if at least one shard could take a request right now.
+     *  The next request may still be rejected when its home shard is
+     *  the saturated one — callers retry, as with a busy controller. */
+    bool canAccept() const;
+
+    /**
+     * Submit an LLC request; routed to the home shard of @p addr.
+     * @return the request id (0 when rejected: home-shard window
+     *         full, or its address queue busy; retry later).
+     */
+    std::uint64_t request(oram::Op op, BlockAddr addr,
+                          std::vector<std::uint8_t> payload,
+                          DataCallback cb);
+
+    /** Real requests accepted and not yet answered, all shards. */
+    std::size_t inFlight() const;
+    bool busy() const { return inFlight() > 0; }
+
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    OramController &shard(unsigned s) { return *shards_[s].ctrl; }
+    const OramController &shard(unsigned s) const
+    {
+        return *shards_[s].ctrl;
+    }
+
+    /** Requests accepted into shard @p s. */
+    std::uint64_t dispatched(unsigned s) const
+    {
+        return shards_[s].dispatched.value();
+    }
+    /** Rejections because the home shard's window was full. */
+    std::uint64_t windowRejects() const
+    {
+        return windowRejects_.value();
+    }
+    /** Rejections because the home shard's controller was busy. */
+    std::uint64_t busyRejects() const { return busyRejects_.value(); }
+
+    /**
+     * Deterministic FNV fold of the per-shard request-stream
+     * fingerprints in shard order. Each shard's stream is internally
+     * ordered and shards are independent, so folding per-shard
+     * fingerprints (rather than one global issue-order stream, which
+     * would depend on cross-shard interleaving) is the sharded
+     * analogue of OramController::reqStreamFingerprint.
+     */
+    std::uint64_t reqStreamFingerprint() const;
+
+    fp::StatGroup &stats() { return stats_; }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<OramController> ctrl;
+        std::size_t inflight = 0;
+        fp::Counter dispatched;
+    };
+
+    ShardedOramParams params_;
+    std::vector<Shard> shards_;
+    fp::Counter windowRejects_;
+    fp::Counter busyRejects_;
+    fp::StatGroup stats_;
+};
+
+} // namespace fp::core
+
+#endif // FP_CORE_SHARDED_ORAM_HH

@@ -12,6 +12,25 @@ AddressMapping::AddressMapping(const DramOrganization &org)
     fp_assert(org.channels > 0 && org.banksTotal() > 0 &&
                   org.rowBytes > 0,
               "AddressMapping: bad organization");
+    if (org.mapPolicy == AddressMapPolicy::lineInterleaved) {
+        // The line interleave places consecutive bursts of one channel
+        // at consecutive burstBytes offsets of that channel's address
+        // space, so a burst stays within one row only when rows are a
+        // whole number of bursts. Otherwise decode() would charge a
+        // row-straddling burst entirely to the row of its first byte,
+        // silently mis-modelling row-buffer behaviour — reject the
+        // organization up front instead.
+        if (org.burstBytes == 0)
+            fp_fatal("line-interleaved mapping needs a non-zero burst "
+                     "size");
+        if (org.rowBytes % org.burstBytes != 0)
+            fp_fatal("line-interleaved mapping requires rowBytes (%llu) "
+                     "to be a multiple of burstBytes (%llu); a burst "
+                     "would straddle a row boundary but be charged to "
+                     "a single row",
+                     static_cast<unsigned long long>(org.rowBytes),
+                     static_cast<unsigned long long>(org.burstBytes));
+    }
 }
 
 DramLocation
@@ -53,8 +72,12 @@ BucketLayout::BucketLayout(const mem::TreeGeometry &geo,
     if (policy_ == LayoutPolicy::subtree) {
         // Deepest k with a padded 2^k-bucket subtree fitting one row.
         std::uint64_t per_row = row_bytes / bucket_bytes;
-        fp_assert(per_row >= 2,
-                  "subtree layout needs >= 2 buckets per row");
+        if (per_row < 2)
+            fp_fatal("subtree layout needs >= 2 buckets per DRAM row "
+                     "(bucket %llu B, row %llu B); shrink the bucket "
+                     "(payload bytes / Z) or use the linear layout",
+                     static_cast<unsigned long long>(bucket_bytes),
+                     static_cast<unsigned long long>(row_bytes));
         subtreeLevels_ = log2Floor(per_row);
         if (subtreeLevels_ > geo_.numLevels())
             subtreeLevels_ = geo_.numLevels();

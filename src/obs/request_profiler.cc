@@ -278,6 +278,59 @@ RequestProfiler::countCacheVictim()
     cVictims_.inc();
 }
 
+void
+RequestProfiler::merge(const RequestProfiler &other)
+{
+    fp_assert(other.open_.empty(),
+              "RequestProfiler::merge: source still has %zu open "
+              "requests",
+              other.open_.size());
+    fp_assert(eff_.bucketBytes == other.eff_.bucketBytes,
+              "RequestProfiler::merge: bucket size mismatch "
+              "(%llu vs %llu)",
+              static_cast<unsigned long long>(eff_.bucketBytes),
+              static_cast<unsigned long long>(other.eff_.bucketBytes));
+
+    addrQueueNs_.merge(other.addrQueueNs_);
+    labelQueueNs_.merge(other.labelQueueNs_);
+    pathReadNs_.merge(other.pathReadNs_);
+    completionNs_.merge(other.completionNs_);
+    totalNs_.merge(other.totalNs_);
+    writebackNs_.merge(other.writebackNs_);
+    backendReadNs_.merge(other.backendReadNs_);
+    backendWriteNs_.merge(other.backendWriteNs_);
+    labelResidencyNs_.merge(other.labelResidencyNs_);
+    evictPerBucket_.merge(other.evictPerBucket_);
+
+    if (keepRecords_)
+        records_.insert(records_.end(), other.records_.begin(),
+                        other.records_.end());
+
+    completed_.inc(other.completed_.value());
+    cMerged_.inc(other.cMerged_.value());
+    cReadSkipped_.inc(other.cReadSkipped_.value());
+    cWriteElided_.inc(other.cWriteElided_.value());
+    cReplaced_.inc(other.cReplaced_.value());
+    cSwaps_.inc(other.cSwaps_.value());
+    cOnChip_.inc(other.cOnChip_.value());
+    cMacData_.inc(other.cMacData_.value());
+    cVictims_.inc(other.cVictims_.value());
+    cShortcuts_.inc(other.cShortcuts_.value());
+
+    eff_.totalAccesses += other.eff_.totalAccesses;
+    eff_.mergedAccesses += other.eff_.mergedAccesses;
+    eff_.readLevelsSkipped += other.eff_.readLevelsSkipped;
+    eff_.writeLevelsElided += other.eff_.writeLevelsElided;
+    eff_.writebacksReplaced += other.eff_.writebacksReplaced;
+    eff_.pendingSwaps += other.eff_.pendingSwaps;
+    eff_.onChipBucketReads += other.eff_.onChipBucketReads;
+    eff_.macDataHits += other.eff_.macDataHits;
+    eff_.cacheVictimWrites += other.eff_.cacheVictimWrites;
+    eff_.stashShortcuts += other.eff_.stashShortcuts;
+    eff_.naivePathBuckets += other.eff_.naivePathBuckets;
+    eff_.backendBuckets += other.eff_.backendBuckets;
+}
+
 const std::vector<std::string> &
 RequestProfiler::stageNames()
 {

@@ -193,6 +193,17 @@ class RequestProfiler
      */
     std::string reportJson() const;
 
+    /**
+     * Fold @p other in, as if its requests had been profiled here:
+     * every stage histogram is merged bucket-wise, the completed
+     * count and all effectiveness counters are summed. @p other must
+     * be drained (no open requests) and share this profiler's bucket
+     * size. This is how sim::System rolls the per-shard profilers of
+     * a core::ShardedOram up into the single forkpath-profile-v1
+     * report.
+     */
+    void merge(const RequestProfiler &other);
+
     fp::StatGroup &stats() { return stats_; }
 
   private:

@@ -12,6 +12,7 @@ Tracer::Tracer(const std::string &path, TraceLevel level,
                const Tick *now, std::size_t buffer_bytes)
     : level_(level), now_(now), flushAt_(buffer_bytes)
 {
+    out_ = this;
     fp_assert(now_ != nullptr, "Tracer: null clock");
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
@@ -19,6 +20,23 @@ Tracer::Tracer(const std::string &path, TraceLevel level,
                  path.c_str());
     buf_.reserve(flushAt_ + 4096);
     append("{\"traceEvents\":[");
+}
+
+Tracer::Tracer(Tracer *out, unsigned tid_offset,
+               std::string track_prefix)
+    : level_(out->level_), now_(out->now_), out_(out),
+      tidOffset_(tid_offset), trackPrefix_(std::move(track_prefix))
+{
+}
+
+std::unique_ptr<Tracer>
+Tracer::makeView(unsigned tid_offset, std::string track_prefix)
+{
+    // Chained views flatten onto the root so every emission is a
+    // single forwarding hop.
+    return std::unique_ptr<Tracer>(
+        new Tracer(out_, tidOffset_ + tid_offset,
+                   trackPrefix_ + std::move(track_prefix)));
 }
 
 Tracer::~Tracer()
@@ -120,6 +138,10 @@ Tracer::maybeFlush()
 void
 Tracer::nameTrack(Track track, const char *name)
 {
+    if (isView()) {
+        out_->nameTrack(shift(track), (trackPrefix_ + name).c_str());
+        return;
+    }
     if (finished_ || level_ == TraceLevel::off)
         return;
     begin(track, "thread_name", "M");
@@ -133,6 +155,10 @@ void
 Tracer::complete(Track track, const char *name, Tick start, Tick end_tick,
                  std::initializer_list<TraceArg> args)
 {
+    if (isView()) {
+        out_->complete(shift(track), name, start, end_tick, args);
+        return;
+    }
     if (finished_ || level_ == TraceLevel::off)
         return;
     fp_assert(end_tick >= start, "Tracer: negative slice duration");
@@ -166,6 +192,10 @@ void
 Tracer::instant(Track track, const char *name,
                 std::initializer_list<TraceArg> args)
 {
+    if (isView()) {
+        out_->instant(shift(track), name, args);
+        return;
+    }
     if (finished_ || level_ == TraceLevel::off)
         return;
     begin(track, name, "i");
@@ -189,6 +219,10 @@ Tracer::async(Track track, const char *name, const char *ph,
               const char *cat, std::uint64_t id,
               std::initializer_list<TraceArg> args)
 {
+    if (isView()) {
+        out_->async(shift(track), name, ph, cat, id, args);
+        return;
+    }
     if (finished_ || level_ == TraceLevel::off)
         return;
     begin(track, name, ph);
@@ -216,6 +250,10 @@ void
 Tracer::counter(Track track, const char *name, const char *series,
                 double value)
 {
+    if (isView()) {
+        out_->counter(shift(track), name, series, value);
+        return;
+    }
     if (finished_ || level_ == TraceLevel::off)
         return;
     begin(track, name, "C");
@@ -228,7 +266,7 @@ Tracer::counter(Track track, const char *name, const char *series,
 void
 Tracer::finish()
 {
-    if (finished_)
+    if (isView() || finished_)
         return;
     finished_ = true;
     buf_ += "],\"displayTimeUnit\":\"ns\"}\n";

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "util/types.hh"
@@ -169,12 +170,39 @@ class Tracer
     }
 
     /** Flush buffered events and close the JSON document. Safe to
-     *  call more than once; further events are dropped. */
+     *  call more than once; further events are dropped. On a view
+     *  (makeView) this is a no-op: only the root closes the file. */
     void finish();
 
-    std::uint64_t eventsEmitted() const { return events_; }
+    std::uint64_t eventsEmitted() const
+    {
+        return out_ && out_ != this ? out_->events_ : events_;
+    }
+
+    /**
+     * Create a view of this tracer for a replicated component stack
+     * (e.g. one ORAM shard): events emitted through the view land in
+     * the same trace file, but on tracks shifted by @p tid_offset, and
+     * track names gain @p track_prefix ("s0." turns "controller" into
+     * "s0.controller"). Views hold no file state — they must not
+     * outlive the tracer they were made from — and chaining
+     * makeView on a view composes offsets and prefixes.
+     */
+    std::unique_ptr<Tracer> makeView(unsigned tid_offset,
+                                     std::string track_prefix);
 
   private:
+    /** View constructor (see makeView). */
+    Tracer(Tracer *out, unsigned tid_offset, std::string track_prefix);
+
+    /** Track id after applying this view's offset. */
+    Track shift(Track track) const
+    {
+        return static_cast<Track>(static_cast<unsigned>(track) +
+                                  tidOffset_);
+    }
+    bool isView() const { return out_ != this; }
+
     void begin(Track track, const char *name, const char *ph);
     void beginArgs();
     void appendArg(const TraceArg &a);
@@ -188,9 +216,13 @@ class Tracer
     const Tick *now_;
     std::FILE *file_ = nullptr;
     std::string buf_;
-    std::size_t flushAt_;
+    std::size_t flushAt_ = 0;
     std::uint64_t events_ = 0;
     bool finished_ = false;
+    /** The tracer owning the file/buffer; `this` on a root tracer. */
+    Tracer *out_ = nullptr;
+    unsigned tidOffset_ = 0;
+    std::string trackPrefix_;
 };
 
 } // namespace fp::obs

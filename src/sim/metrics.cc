@@ -148,6 +148,33 @@ toJson(const RunResult &r)
             .endObject();
         w.endObject();
     }
+    if (r.shards > 1) {
+        // Shard block, present only when the run actually sharded
+        // (--shards=1 output stays byte-identical to the
+        // single-controller format).
+        w.key("shard").beginObject();
+        w.field("shards", std::uint64_t{r.shards})
+            .field("shard_window", std::uint64_t{r.shardWindow})
+            .field("shard_window_rejects", r.shardWindowRejects)
+            .field("shard_busy_rejects", r.shardBusyRejects);
+        w.key("shard_dispatched").beginArray();
+        for (std::uint64_t n : r.shardDispatched)
+            w.value(n);
+        w.endArray();
+        w.key("shard_real_accesses").beginArray();
+        for (std::uint64_t n : r.shardRealAccesses)
+            w.value(n);
+        w.endArray();
+        w.key("shard_dummy_accesses").beginArray();
+        for (std::uint64_t n : r.shardDummyAccesses)
+            w.value(n);
+        w.endArray();
+        w.key("shard_avg_llc_latency_ns").beginArray();
+        for (double v : r.shardAvgLlcLatencyNs)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
     w.key("merge_skips_per_level").beginArray();
     for (std::uint64_t n : r.mergeSkipsPerLevel)
         w.value(n);

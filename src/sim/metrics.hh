@@ -120,6 +120,19 @@ struct RunResult
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
 
+    // Sharding (--shards > 1). Serialised to JSON only when the run
+    // actually sharded, so single-controller output stays
+    // byte-identical to the historical format.
+    unsigned shards = 1;
+    unsigned shardWindow = 0;
+    std::uint64_t shardWindowRejects = 0;
+    std::uint64_t shardBusyRejects = 0;
+    /** Per-shard breakdowns, indexed by shard (empty when shards==1). */
+    std::vector<std::uint64_t> shardDispatched;
+    std::vector<std::uint64_t> shardRealAccesses;
+    std::vector<std::uint64_t> shardDummyAccesses;
+    std::vector<double> shardAvgLlcLatencyNs;
+
     // Per-request profiling (--profile-requests). Serialised to JSON
     // only when profiled, so profiling-off output stays
     // byte-identical to the historical format.

@@ -89,6 +89,20 @@ applyBackendFlags(SimConfig &cfg, const CliArgs &args)
     // User input: reject with a CLI error (exit 1), not an assert.
     cfg.net.validate();
 
+    const std::int64_t shards = args.getInt(
+        "shards", static_cast<std::int64_t>(cfg.shards));
+    if (shards < 1)
+        fp_fatal("--shards must be at least 1 (got %lld)",
+                 static_cast<long long>(shards));
+    cfg.shards = static_cast<unsigned>(shards);
+
+    const std::int64_t shard_window = args.getInt(
+        "shard-window", static_cast<std::int64_t>(cfg.shardWindow));
+    if (shard_window < 1)
+        fp_fatal("--shard-window must be at least 1 (got %lld)",
+                 static_cast<long long>(shard_window));
+    cfg.shardWindow = static_cast<unsigned>(shard_window);
+
     applyFaultFlags(cfg, args);
 }
 

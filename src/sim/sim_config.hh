@@ -114,6 +114,18 @@ struct SimConfig
      */
     bool insecure = false;
 
+    // --- sharding -----------------------------------------------------------
+    /**
+     * Number of independent ORAM shards behind the dispatcher
+     * (core::ShardedOram). 1 (the default) builds the classic single
+     * controller, byte-identical to historical output; > 1 partitions
+     * the block space across that many complete ORAM stacks, each
+     * with its own memory backend instance.
+     */
+    unsigned shards = 1;
+    /** Per-shard inflight window of the dispatcher (shards > 1). */
+    unsigned shardWindow = 16;
+
     // --- workload shape -----------------------------------------------------
     /** Threads share one address region (PARSEC style). */
     bool sharedAddressSpace = false;
@@ -155,6 +167,8 @@ void applyObsFlags(SimConfig &cfg, const CliArgs &args);
  *   --net-latency-us=T   one-way propagation delay (default 50)
  *   --net-gbps=B         link bandwidth in Gb/s (default 10)
  *   --net-window=N       outstanding-request window (default 16)
+ *   --shards=N           independent ORAM shards (default 1)
+ *   --shard-window=K     dispatcher inflight window per shard (16)
  *
  * The --net-* flags tune the model whether or not --backend=net was
  * given on the same command line (so a sweep driver can set them

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/oram_controller.hh"
+#include "core/sharded_oram.hh"
 #include "dram/dram_system.hh"
 #include "mem/backend.hh"
 #include "obs/interval_stats.hh"
@@ -65,10 +66,29 @@ class System
     {
         return resilient_.get();
     }
-    /** The DRAM timing model; null when cfg.backendKind != dram. */
+    /** The DRAM timing model; null when cfg.backendKind != dram
+     *  (or when sharded — see shardDram). */
     dram::DramSystem *dram() { return dram_.get(); }
-    /** Null in insecure mode. */
+    /** Null in insecure mode (or when sharded — see sharded()). */
     core::OramController *controller() { return ctrl_.get(); }
+    /** The shard dispatcher; null unless cfg.shards > 1. */
+    core::ShardedOram *sharded() { return sharded_.get(); }
+    /** Shard s's DRAM model; null off the DRAM backend or unsharded. */
+    dram::DramSystem *shardDram(unsigned s)
+    {
+        return shardParts_[s].dram.get();
+    }
+    /** Shard s's base store (below any decorators); sharded only. */
+    mem::MemoryBackend *shardBackend(unsigned s)
+    {
+        return shardParts_[s].backend.get();
+    }
+    /** Shard s's lifecycle profiler; null unless profiling a sharded
+     *  run (the aggregate rollup lands in the RunResult). */
+    obs::RequestProfiler *shardProfiler(unsigned s)
+    {
+        return shardParts_[s].profiler.get();
+    }
     /** Null unless cfg.obs.traceOut was set. */
     obs::Tracer *tracer() { return tracer_.get(); }
     /** Null unless cfg.obs.statsOut was set. */
@@ -88,8 +108,31 @@ class System
   private:
     class OramSink;
     class InsecureSink;
+    class ShardedSink;
+
+    /** One shard's private observability + memory stack (the
+     *  controller itself lives inside sharded_). */
+    struct ShardParts
+    {
+        /** View of the root tracer: same file, tracks at tid offset
+         *  32 * shard with an "s<N>." name prefix. */
+        std::unique_ptr<obs::Tracer> tracerView;
+        std::unique_ptr<obs::RequestProfiler> profiler;
+        std::unique_ptr<dram::DramSystem> dram;
+        std::unique_ptr<mem::MemoryBackend> backend;
+        std::unique_ptr<mem::FaultInjector> injector;
+        std::unique_ptr<mem::ResilientBackend> resilient;
+        /** Top of this shard's decorator stack. */
+        mem::MemoryBackend *top = nullptr;
+    };
+
+    /** Single-controller memory path + sink (cfg.shards <= 1). */
+    void buildSingle();
+    /** Sharded memory path + dispatcher + sink (cfg.shards > 1). */
+    void buildSharded();
 
     bool allDone() const;
+    bool resilienceConfigured() const;
 
     SimConfig cfg_;
     /** Must precede every stat-owning component: StatGroups capture
@@ -112,6 +155,11 @@ class System
     /** Whichever layer the controller/sink issues against. */
     mem::MemoryBackend *topBackend_ = nullptr;
     std::unique_ptr<core::OramController> ctrl_;
+    /** Sharded mode (cfg.shards > 1): per-shard stacks, then the
+     *  dispatcher whose controllers reference them — declared after
+     *  shardParts_ so the controllers are destroyed first. */
+    std::vector<ShardParts> shardParts_;
+    std::unique_ptr<core::ShardedOram> sharded_;
     std::unique_ptr<workload::MemorySink> sink_;
     std::vector<std::unique_ptr<workload::CoreModel>> cores_;
 };

@@ -6,17 +6,17 @@
 namespace fp
 {
 
-namespace
-{
-
 std::uint64_t
-splitmix64(std::uint64_t &x)
+splitmix64(std::uint64_t x)
 {
-    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
+
+namespace
+{
 
 std::uint64_t
 rotl(std::uint64_t x, int k)
@@ -30,8 +30,10 @@ Rng::Rng(std::uint64_t seed)
 {
     // Expand the seed; xoshiro must not start from the all-zero state,
     // which splitmix64 guarantees for any seed.
-    for (auto &s : s_)
+    for (auto &s : s_) {
         s = splitmix64(seed);
+        seed += 0x9e3779b97f4a7c15ULL;
+    }
 }
 
 Rng::result_type

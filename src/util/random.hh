@@ -24,6 +24,17 @@ namespace fp
 {
 
 /**
+ * One step of the splitmix64 output function over state @p x (the
+ * golden-gamma increment is applied first, so splitmix64(x) is the
+ * value a splitmix64 stream seeded at x would emit next). The map is
+ * bijective on 64-bit values, which makes it the tool of choice for
+ * deriving uncorrelated child seeds: distinct inputs are guaranteed
+ * distinct outputs (core::ShardedOram leans on this for per-shard
+ * seed derivation).
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
  * xoshiro256** generator. Satisfies the essentials of
  * UniformRandomBitGenerator so it can be used with <random>
  * distributions if ever needed.

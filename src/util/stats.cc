@@ -136,8 +136,31 @@ Histogram::reset()
     avg_.reset();
 }
 
+namespace
+{
+thread_local std::string currentStatNamePrefix;
+} // anonymous namespace
+
+StatNameScope::StatNameScope(const std::string &prefix)
+    : prev_(currentStatNamePrefix)
+{
+    currentStatNamePrefix += prefix;
+}
+
+StatNameScope::~StatNameScope()
+{
+    currentStatNamePrefix = prev_;
+}
+
+const std::string &
+StatNameScope::current()
+{
+    return currentStatNamePrefix;
+}
+
 StatGroup::StatGroup(std::string name)
-    : name_(std::move(name)), registry_(StatRegistry::current())
+    : name_(StatNameScope::current() + std::move(name)),
+      registry_(StatRegistry::current())
 {
     // The registry is captured at construction so the group
     // unregisters from the same place even if the thread's current

@@ -114,6 +114,31 @@ class Histogram
 };
 
 /**
+ * RAII name qualifier for StatGroups constructed on this thread: while
+ * a scope is active, every new StatGroup's name is prefixed with the
+ * scope's string (scopes nest by concatenation). This is how replicated
+ * component stacks — e.g. the per-shard controllers and backends under
+ * core::ShardedOram — keep their group names ("s0.oram", "s1.oram", ...)
+ * distinct in one StatRegistry without threading a name parameter
+ * through every component constructor. Interval-stats snapshots require
+ * globally unique "<group>.<stat>" JSON keys, which this guarantees.
+ */
+class StatNameScope
+{
+  public:
+    explicit StatNameScope(const std::string &prefix);
+    ~StatNameScope();
+    StatNameScope(const StatNameScope &) = delete;
+    StatNameScope &operator=(const StatNameScope &) = delete;
+
+    /** Prefix applied to StatGroup names on this thread ("" if none). */
+    static const std::string &current();
+
+  private:
+    std::string prev_;
+};
+
+/**
  * A named collection of statistics belonging to one component.
  * Registration is by reference: the group does not own the stats, it
  * only knows how to print them. Gauges are the exception: they are

@@ -13,6 +13,7 @@
 #include "dram/dram_system.hh"
 #include "mem/tree_geometry.hh"
 #include "util/event_queue.hh"
+#include "util/logging.hh"
 
 namespace fp::dram
 {
@@ -64,6 +65,41 @@ TEST(AddressMapping, AllFieldsInRange)
     }
 }
 
+TEST(AddressMapping, LineInterleaveRejectsRowStraddlingBursts)
+{
+    // Regression: with rowBytes not a multiple of burstBytes (per
+    // channel), the line interleave places bursts that straddle a row
+    // boundary, but decode() charges each burst entirely to the row
+    // of its first byte — silently mis-modelling row-buffer hits.
+    // Such an organization is now rejected at construction.
+    DramOrganization org;
+    org.rowBytes = 8192;
+    org.burstBytes = 96; // 8192 % 96 != 0
+    org.mapPolicy = AddressMapPolicy::lineInterleaved;
+    ScopedRecoverableFailures recover;
+    EXPECT_THROW(AddressMapping{org}, SimFailure);
+
+    // A zero burst size would divide by zero before it straddled.
+    DramOrganization zero;
+    zero.burstBytes = 0;
+    zero.mapPolicy = AddressMapPolicy::lineInterleaved;
+    EXPECT_THROW(AddressMapping{zero}, SimFailure);
+
+    // The row interleave never splits on burst granularity, so the
+    // same organization stays legal there.
+    DramOrganization row_ok;
+    row_ok.rowBytes = 8192;
+    row_ok.burstBytes = 96;
+    EXPECT_NO_THROW(AddressMapping{row_ok});
+
+    // And a burst-aligned row is fine under the line interleave.
+    DramOrganization line_ok;
+    line_ok.rowBytes = 8192;
+    line_ok.burstBytes = 64;
+    line_ok.mapPolicy = AddressMapPolicy::lineInterleaved;
+    EXPECT_NO_THROW(AddressMapping{line_ok});
+}
+
 // --- bucket layout -----------------------------------------------------------
 
 TEST(BucketLayout, LinearIsDense)
@@ -104,6 +140,51 @@ TEST(BucketLayout, SubtreeNeverStraddlesRow)
         EXPECT_EQ(a / 8192, (a + 320 - 1) / 8192)
             << "bucket " << i << " straddles a row";
     }
+}
+
+TEST(BucketLayout, SubtreeMappingExhaustivelyInjectiveAndRowAligned)
+{
+    // Exhaustive proof over small geometries that the subtree layout
+    // is injective and never lets a bucket straddle a row, including
+    // the awkward cases: a non-power-of-two number of buckets per row
+    // (per_row in {2,3,5,7,9,17}), rows that are not a multiple of
+    // the bucket size, and tree depths where numLevels is not a
+    // multiple of the subtree depth (the last super-level is
+    // truncated).
+    const std::uint64_t bucket_bytes = 96;
+    for (unsigned leaf = 0; leaf <= 8; ++leaf) {
+        mem::TreeGeometry geo(leaf);
+        for (std::uint64_t per_row : {2, 3, 5, 7, 8, 9, 17}) {
+            // +37 makes the row a non-multiple of the bucket size.
+            const std::uint64_t row_bytes =
+                per_row * bucket_bytes + 37;
+            BucketLayout layout(geo, bucket_bytes, row_bytes,
+                                LayoutPolicy::subtree);
+            std::set<Addr> seen;
+            for (BucketIndex i = 0; i < geo.numBuckets(); ++i) {
+                Addr a = layout.physAddr(i);
+                EXPECT_TRUE(seen.insert(a).second)
+                    << "leaf " << leaf << " per_row " << per_row
+                    << ": bucket " << i << " aliases address " << a;
+                EXPECT_EQ(a / row_bytes,
+                          (a + bucket_bytes - 1) / row_bytes)
+                    << "leaf " << leaf << " per_row " << per_row
+                    << ": bucket " << i << " straddles a row";
+            }
+        }
+    }
+}
+
+TEST(BucketLayout, SubtreeRejectsRowsSmallerThanTwoBuckets)
+{
+    // A row holding fewer than two buckets cannot host any subtree;
+    // that is a configuration error (reject loudly), not a simulator
+    // invariant.
+    mem::TreeGeometry geo(4);
+    ScopedRecoverableFailures recover;
+    EXPECT_THROW(
+        BucketLayout(geo, 8192, 8192 + 1, LayoutPolicy::subtree),
+        SimFailure);
 }
 
 TEST(BucketLayout, PathTouchesFewRowsUnderSubtree)

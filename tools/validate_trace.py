@@ -14,6 +14,8 @@ chrome://tracing rely on):
   - every event has name/ph/ts/pid/tid with the right types
   - ph is one of M (metadata), X (complete), i (instant), C (counter),
     b/n/e (nestable async begin/instant/end)
+  - thread_name metadata names a known track, allowing the "s<N>."
+    shard prefix sharded runs (--shards=N) put on per-shard tracks
   - X events carry a non-negative dur; i events carry a scope
   - C events carry a one-entry numeric args object
   - b/n/e events carry a string "cat" and a numeric "id"; within each
@@ -43,6 +45,7 @@ Exit status 0 when everything passes; 1 with a message otherwise.
 import argparse
 import json
 import math
+import re
 import sys
 
 
@@ -69,6 +72,34 @@ PROFILER_EVENTS = {
     "read_start",
     "read_done",
 }
+
+#: Track (thread_name) base names the simulator emits. Sharded runs
+#: (--shards=N) prefix every per-shard track with "s<shard>." —
+#: "s1.controller", "s3.dram.ch0" — via obs::Tracer views; the prefix
+#: is stripped before matching against this set. "dram.ch<N>" covers
+#: any channel count.
+KNOWN_TRACKS = {
+    "controller",
+    "scheduler",
+    "caches",
+    "revealed",
+    "stash",
+    "queues",
+    "requests",
+    "resilience",
+}
+
+#: Matches a shard-qualified or bare track name; group "base" is the
+#: name with any "s<N>." shard prefix removed.
+TRACK_NAME_RE = re.compile(r"^(s\d+\.)?(?P<base>.+)$")
+DRAM_TRACK_RE = re.compile(r"^dram\.ch\d+$")
+
+
+def check_track_name(where, name):
+    base = TRACK_NAME_RE.match(name).group("base")
+    if base not in KNOWN_TRACKS and not DRAM_TRACK_RE.match(base):
+        fail(f"{where}: unknown track name '{name}' (base '{base}' "
+             f"not in {sorted(KNOWN_TRACKS)} and not dram.ch<N>)")
 
 
 def fail(msg):
@@ -121,6 +152,7 @@ def validate_trace(path, require_events=()):
         if ph == "M" and ev["name"] == "thread_name":
             if not isinstance(ev.get("args", {}).get("name"), str):
                 fail(f"{where}: thread_name without args.name")
+            check_track_name(where, ev["args"]["name"])
         if ph in ("b", "n", "e"):
             if not isinstance(ev.get("cat"), str):
                 fail(f"{where}: async event needs a string 'cat'")
