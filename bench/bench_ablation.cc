@@ -11,6 +11,7 @@
  *  4. DRAM layout: subtree vs linear.
  */
 
+#include "core/access_policy.hh"
 #include "fig_common.hh"
 
 using namespace fp;
@@ -127,6 +128,12 @@ main(int argc, char **argv)
         add("integrity on (hash-only cost)", on);
     }
 
+    // Every registered scheduling policy under its canonical preset,
+    // selected by name through the same registry path as --policy.
+    const auto policy_names = core::accessPolicyNames();
+    for (const auto &name : policy_names)
+        add("policy: " + name, sim::withPolicyName(base, name));
+
     auto results = runSweep(opt, std::move(points));
     const auto &trad = results[0];
     std::size_t next = 1;
@@ -197,5 +204,12 @@ main(int argc, char **argv)
     for (int i = 0; i < 2; ++i)
         row(integrity);
     emit(integrity);
+
+    TextTable polreg("scheduling policy registry (" + mix + ")");
+    polreg.setHeader({"config", "latency_ns", "norm", "path_len",
+                      "dummy/real", "energy_mJ"});
+    for (std::size_t i = 0; i < policy_names.size(); ++i)
+        row(polreg);
+    emit(polreg);
     return 0;
 }

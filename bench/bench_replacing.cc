@@ -44,11 +44,15 @@ main(int argc, char **argv)
            "crossing bucket replaces the committed dummy (Case 3); "
            "later arrivals cannot (Cases 1-2)");
 
-    core::ControllerParams params;
+    // The registry's forkpath preset (merging + replacing), shrunk to
+    // a probe-sized queue with no on-chip cache so every replacement
+    // window is exercised against DRAM.
+    core::ControllerParams params = core::ControllerParams::forkPath();
     params.oram.leafLevel = leaf;
     params.oram.payloadBytes = 0;
     params.oram.seed = 60221023;
     params.labelQueueSize = 8;
+    params.cachePolicy = core::CachePolicy::none;
 
     TextTable table("replacement probability vs arrival offset");
     table.setHeader({"offset_after_prev_done_ns", "replaced_frac",

@@ -65,22 +65,30 @@ main(int argc, char **argv)
     // and stage percentiles alongside the headline metrics.
     base.obs.profileRequests = true;
 
+    // With --policy=NAME the registry preset is forced onto every
+    // point AFTER its series transform (so e.g. --policy=batched runs
+    // the whole smoke matrix batched); without the flag pol() is the
+    // identity and the baseline-gated output stays byte-identical.
+    auto pol = [&](sim::SimConfig cfg) {
+        return applyPolicy(opt, std::move(cfg));
+    };
+
     const std::string mix = "Mix3";
     std::vector<sim::SweepPoint> points;
     points.push_back(sim::pointFromMix(
-        "traditional", sim::withTraditional(base), mix));
+        "traditional", pol(sim::withTraditional(base)), mix));
     points.push_back(sim::pointFromMix(
-        "merge_q16", sim::withMergeOnly(base, 16), mix));
+        "merge_q16", pol(sim::withMergeOnly(base, 16)), mix));
     points.push_back(sim::pointFromMix(
-        "merge_q64", sim::withMergeOnly(base, 64), mix));
+        "merge_q64", pol(sim::withMergeOnly(base, 64)), mix));
     points.push_back(sim::pointFromMix(
-        "merge_mac_q64", sim::withMergeMac(base, 128 * 1024, 64),
-        mix));
+        "merge_mac_q64",
+        pol(sim::withMergeMac(base, 128 * 1024, 64)), mix));
     {
         // Sharded front-end on the network store: four independent
         // shards, each with its own pipe (the config where sharding
         // actually moves throughput, and the one CI should gate).
-        sim::SimConfig sharded = sim::withMergeOnly(base, 64);
+        sim::SimConfig sharded = pol(sim::withMergeOnly(base, 64));
         sharded.backendKind = sim::BackendKind::net;
         sharded.shards = 4;
         points.push_back(

@@ -3,6 +3,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/access_policy.hh"
 #include "util/logging.hh"
 
 namespace fp::bench
@@ -40,6 +41,15 @@ parseOptions(const CliArgs &args)
     opt.shards = probe.shards;
     opt.shardWindow = probe.shardWindow;
 
+    opt.policy = args.getString("policy", "");
+    if (!opt.policy.empty())
+        core::parsePolicyKind(opt.policy); // fatal on unknown names
+    const std::int64_t batch = args.getInt("batch-size", 0);
+    if (args.has("batch-size") && batch < 1)
+        fp_fatal("--batch-size must be at least 1 (got %lld)",
+                 static_cast<long long>(batch));
+    opt.batchSize = static_cast<unsigned>(batch);
+
     std::string mixes = args.getString("mixes", "");
     if (mixes.empty()) {
         opt.mixes = workload::mixNames();
@@ -65,12 +75,32 @@ baseConfig(const BenchOptions &opt)
     cfg.retry = opt.retry;
     cfg.shards = opt.shards;
     cfg.shardWindow = opt.shardWindow;
+    return applyPolicy(opt, std::move(cfg));
+}
+
+sim::SimConfig
+applyPolicy(const BenchOptions &opt, sim::SimConfig cfg)
+{
+    if (!opt.policy.empty())
+        cfg = sim::withPolicyName(std::move(cfg), opt.policy);
+    if (opt.batchSize > 0)
+        cfg.controller.batchSize = opt.batchSize;
     return cfg;
 }
 
 std::vector<sim::RunResult>
 runSweep(const BenchOptions &opt, std::vector<sim::SweepPoint> points)
 {
+    // --policy/--batch-size override every point's per-series choice
+    // (the series transforms rebuild the controller config after
+    // baseConfig, so the flag must be re-applied here).
+    if (!opt.policy.empty() || opt.batchSize > 0) {
+        for (sim::SweepPoint &p : points) {
+            if (p.cfg.insecure)
+                continue; // the insecure baseline has no scheduler
+            p.cfg = applyPolicy(opt, std::move(p.cfg));
+        }
+    }
     sim::SweepRunner runner(opt.sweep);
     auto outcomes = runner.run(std::move(points));
     std::vector<sim::RunResult> results;

@@ -56,6 +56,11 @@ struct BenchOptions
     mem::RetryParams retry;
     unsigned shards = 1;
     unsigned shardWindow = 16;
+    /** --policy=NAME: access-policy registry name forced onto every
+     *  point (empty = each bench keeps its own per-series choice). */
+    std::string policy;
+    /** --batch-size=N for the batched policy (0 = keep default). */
+    unsigned batchSize = 0;
     sim::SweepOptions sweep;
 };
 
@@ -66,10 +71,22 @@ BenchOptions parseOptions(const CliArgs &args);
 sim::SimConfig baseConfig(const BenchOptions &opt);
 
 /**
+ * Force opt.policy / opt.batchSize onto a finished point config; the
+ * identity when neither flag was given, so default invocations stay
+ * byte-identical to historical output. Apply AFTER the bench's own
+ * series transforms (sim::withTraditional and friends would override
+ * the policy otherwise).
+ */
+sim::SimConfig applyPolicy(const BenchOptions &opt,
+                           sim::SimConfig cfg);
+
+/**
  * Run every point through a SweepRunner configured by --jobs, with a
- * per-point progress line on stderr (unless --csv). Any failed point
- * is fatal (the figure would be missing a series); returns the
- * RunResults in point order.
+ * per-point progress line on stderr (unless --csv). When --policy /
+ * --batch-size were given, the override is applied to every point
+ * here (insecure baselines excepted), so it wins over the bench's
+ * per-series transforms. Any failed point is fatal (the figure would
+ * be missing a series); returns the RunResults in point order.
  */
 std::vector<sim::RunResult> runSweep(const BenchOptions &opt,
                                      std::vector<sim::SweepPoint>

@@ -1,0 +1,186 @@
+#include "core/access_policy.hh"
+
+#include <string>
+
+#include "core/controller_params.hh"
+#include "util/logging.hh"
+
+namespace fp::core
+{
+
+namespace
+{
+
+/** Baseline Path ORAM: no merging, no replacing, a depth-1 label
+ *  queue acting as a plain staging slot. */
+class TraditionalPolicy : public AccessPolicy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::traditional; }
+    const char *name() const override { return "traditional"; }
+    bool merging() const override { return false; }
+    bool replacing() const override { return false; }
+
+    std::optional<LabelEntry>
+    selectNext(LabelQueue &queue, LeafLabel from) override
+    {
+        // No padding: an empty queue means no work (the controller
+        // idles rather than spinning dummy accesses).
+        return queue.selectNext(from);
+    }
+};
+
+/** The paper's design: padded label queue + overlap scheduling +
+ *  path merging, with dummy replacing as a separate knob so the
+ *  ablation can disable it while keeping the rest. */
+class ForkPathPolicy : public AccessPolicy
+{
+  public:
+    explicit ForkPathPolicy(bool replacing) : replacing_(replacing) {}
+
+    PolicyKind kind() const override { return PolicyKind::forkpath; }
+    const char *name() const override { return "forkpath"; }
+    bool merging() const override { return true; }
+    bool replacing() const override { return replacing_; }
+
+    std::optional<LabelEntry>
+    selectNext(LabelQueue &queue, LeafLabel from) override
+    {
+        // Keep the pool at exactly capacity so the revealed overlap
+        // statistics are independent of LLC intensity (Figure 7).
+        queue.ensureFull();
+        return queue.selectNext(from);
+    }
+
+  private:
+    bool replacing_;
+};
+
+/**
+ * Fork-path merging, but the address queue drains into the scheduler
+ * in fixed-size batches: while an access is in flight, arrivals are
+ * held until batchSize of them are issuable (giving the overlap
+ * scheduler a full window to pick from); when the pipeline drains,
+ * any partial batch is flushed so nothing starves. No replacing —
+ * the batch boundary, not the refill window, is this policy's
+ * admission control.
+ */
+class BatchedPolicy : public AccessPolicy
+{
+  public:
+    explicit BatchedPolicy(unsigned batch) : batch_(batch) {}
+
+    PolicyKind kind() const override { return PolicyKind::batched; }
+    const char *name() const override { return "batched"; }
+    bool merging() const override { return true; }
+    bool replacing() const override { return false; }
+
+    bool
+    admitFrontend(std::size_t issuable,
+                  bool pipeline_busy) const override
+    {
+        return !pipeline_busy || issuable >= batch_;
+    }
+
+    std::optional<LabelEntry>
+    selectNext(LabelQueue &queue, LeafLabel from) override
+    {
+        queue.ensureFull();
+        return queue.selectNext(from);
+    }
+
+  private:
+    std::size_t batch_;
+};
+
+struct PolicyInfo
+{
+    PolicyKind kind;
+    const char *name;
+};
+
+constexpr PolicyInfo kRegistry[] = {
+    {PolicyKind::traditional, "traditional"},
+    {PolicyKind::forkpath, "forkpath"},
+    {PolicyKind::batched, "batched"},
+};
+
+} // anonymous namespace
+
+PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    for (const PolicyInfo &info : kRegistry) {
+        if (name == info.name)
+            return info.kind;
+    }
+    std::string known;
+    for (const PolicyInfo &info : kRegistry) {
+        if (!known.empty())
+            known += "|";
+        known += info.name;
+    }
+    fp_fatal("unknown access policy '%s' (%s)", name.c_str(),
+             known.c_str());
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    for (const PolicyInfo &info : kRegistry) {
+        if (kind == info.kind)
+            return info.name;
+    }
+    fp_fatal("policyKindName: unregistered PolicyKind %d",
+             static_cast<int>(kind));
+}
+
+std::vector<std::string>
+accessPolicyNames()
+{
+    std::vector<std::string> names;
+    for (const PolicyInfo &info : kRegistry)
+        names.emplace_back(info.name);
+    return names;
+}
+
+void
+applyPolicyPreset(ControllerParams &params, PolicyKind kind)
+{
+    params.policy = kind;
+    switch (kind) {
+    case PolicyKind::traditional:
+        params.enableDummyReplacing = false;
+        params.labelQueueSize = 1;
+        params.cachePolicy = CachePolicy::none;
+        break;
+    case PolicyKind::forkpath:
+        params.enableDummyReplacing = true;
+        params.labelQueueSize = 64;
+        params.cachePolicy = CachePolicy::mac;
+        break;
+    case PolicyKind::batched:
+        params.enableDummyReplacing = false;
+        params.labelQueueSize = 64;
+        params.cachePolicy = CachePolicy::mac;
+        break;
+    }
+}
+
+std::unique_ptr<AccessPolicy>
+makeAccessPolicy(const ControllerParams &params)
+{
+    switch (params.policy) {
+    case PolicyKind::traditional:
+        return std::make_unique<TraditionalPolicy>();
+    case PolicyKind::forkpath:
+        return std::make_unique<ForkPathPolicy>(
+            params.enableDummyReplacing);
+    case PolicyKind::batched:
+        return std::make_unique<BatchedPolicy>(params.batchSize);
+    }
+    fp_fatal("makeAccessPolicy: unregistered PolicyKind %d",
+             static_cast<int>(params.policy));
+}
+
+} // namespace fp::core

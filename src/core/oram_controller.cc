@@ -11,25 +11,10 @@
 namespace fp::core
 {
 
-ControllerParams
-ControllerParams::traditional()
+const ControllerParams &
+OramController::checked(const ControllerParams &p)
 {
-    ControllerParams p;
-    p.enableMerging = false;
-    p.enableDummyReplacing = false;
-    p.labelQueueSize = 1;
-    p.cachePolicy = CachePolicy::none;
-    return p;
-}
-
-ControllerParams
-ControllerParams::forkPath()
-{
-    ControllerParams p;
-    p.enableMerging = true;
-    p.enableDummyReplacing = true;
-    p.labelQueueSize = 64;
-    p.cachePolicy = CachePolicy::mac;
+    p.validate();
     return p;
 }
 
@@ -51,7 +36,7 @@ OramController::OramController(
     const ControllerParams &params, EventQueue &eq,
     mem::MemoryBackend *ext,
     std::unique_ptr<mem::MemoryBackend> owned)
-    : ownedMem_(std::move(owned)), params_(params), eq_(eq),
+    : ownedMem_(std::move(owned)), params_(checked(params)), eq_(eq),
       mem_(ext ? *ext : *ownedMem_),
       geo_(params.oram.geometry()),
       posMap_(geo_, params.oram.seed ^ 0xa11ce),
@@ -60,16 +45,13 @@ OramController::OramController(
              params.oram.encrypt, params.oram.seed ^ 0xc1f3),
       layout_(geo_, params.bucketBytes(), mem_.rowBytes(),
               params.layout),
-      addrQueue_(params.addressQueueSize),
-      labelQueue_(geo_, params.labelQueueSize, params.agingThreshold,
-                  params.dummyPolicy, params.oram.seed ^ 0x1abe1),
       rng_(params.oram.seed ^ 0xf0c4),
+      ctx_{params_, eq_, mem_, geo_, posMap_, stash_, store_, layout_},
+      wb_(ctx_), read_(ctx_), scheduler_(ctx_, wb_),
+      admission_(ctx_, scheduler_),
       llcLatency_(256, 100.0), // 100 ns buckets
-      forkLevelHist_(geo_.numLevels() + 1, 1.0),
-      overlapHist_(geo_.numLevels() + 1, 1.0),
       stats_("oram_controller")
 {
-    mergeSkipsPerLevel_.assign(geo_.numLevels(), 0);
     if (params_.cachePolicy == CachePolicy::treetop) {
         treetop_ = std::make_unique<oram::TreetopCache>(
             geo_, params_.bucketBytes(), params_.cacheBudgetBytes);
@@ -87,20 +69,32 @@ OramController::OramController(
     if (params_.enableIntegrity) {
         merkle_ = std::make_unique<oram::MerkleTree>(
             geo_, params_.oram.seed ^ 0x3ec71e);
-        integrityRead_.resize(geo_.numLevels());
-        integrityWrite_.resize(geo_.numLevels());
     }
     if (params_.recursionDepth > 0 && params_.plbEntries > 0) {
         plb_ = std::make_unique<PosmapLookasideBuffer>(
             params_.recursionDepth, params_.recursionFanout,
             params_.plbEntries);
     }
+    ctx_.treetop = treetop_.get();
+    ctx_.mac = mac_.get();
+    ctx_.merkle = merkle_.get();
+    ctx_.plb = plb_.get();
+
+    AdmissionStage::Hooks hooks;
+    hooks.respond = [this](std::uint64_t id,
+                           const std::vector<std::uint8_t> &data) {
+        respond(id, data);
+    };
+    hooks.tryReplaceOrSwap = [this](const ActiveAccess &incoming) {
+        return scheduler_.tryReplaceOrSwap(incoming, current_);
+    };
+    admission_.setHooks(std::move(hooks));
 
     stats_.regHistogram("llc_latency_ns", llcLatency_,
                         "LLC request completion latency");
-    stats_.regAverage("read_path_len", readLen_,
+    stats_.regAverage("read_path_len", read_.readLenStat(),
                       "tree levels fetched per access");
-    stats_.regAverage("dram_buckets_read", dramReadLen_,
+    stats_.regAverage("dram_buckets_read", read_.dramReadLenStat(),
                       "buckets fetched from DRAM per access");
     stats_.regAverage("dram_service_ns", dramService_,
                       "read+write phase duration per access");
@@ -108,36 +102,40 @@ OramController::OramController(
                       "real ORAM accesses performed");
     stats_.regCounter("dummy_accesses", dummyAccesses_,
                       "dummy ORAM accesses performed");
-    stats_.regCounter("dummy_replacements", dummyReplacements_,
+    stats_.regCounter("dummy_replacements",
+                      scheduler_.dummyReplacementsStat(),
                       "pending dummies replaced by real requests");
-    stats_.regCounter("pending_swaps", pendingSwaps_,
+    stats_.regCounter("pending_swaps", scheduler_.pendingSwapsStat(),
                       "pending real requests swapped for better overlap");
-    stats_.regCounter("stash_shortcuts", stashShortcuts_,
+    stats_.regCounter("stash_shortcuts",
+                      admission_.stashShortcutsStat(),
                       "requests served directly from the stash");
-    stats_.regCounter("onchip_bucket_reads", onChipBucketReads_,
+    stats_.regCounter("onchip_bucket_reads",
+                      read_.onChipBucketReadsStat(),
                       "bucket reads served by treetop/MAC");
-    stats_.regCounter("mac_victim_writes", macVictimWrites_,
+    stats_.regCounter("mac_victim_writes", wb_.macVictimWritesStat(),
                       "MAC evictions written back to DRAM");
-    stats_.regHistogram("fork_level", forkLevelHist_,
+    stats_.regHistogram("fork_level", read_.forkLevelHist(),
                         "read-phase start level per access");
-    stats_.regHistogram("overlap_level", overlapHist_,
+    stats_.regHistogram("overlap_level", scheduler_.overlapHist(),
                         "scheduled refill stop level per access");
-    stats_.regCounter("merge_skipped_levels", mergeSkippedLevels_,
+    stats_.regCounter("merge_skipped_levels",
+                      read_.mergeSkippedLevelsStat(),
                       "tree levels skipped by path merging");
     stats_.regGauge(
         "stash_depth", [this] { return double(stash_.size()); },
         "blocks resident in the stash");
     stats_.regGauge(
         "label_queue_real",
-        [this] { return double(labelQueue_.realCount()); },
+        [this] { return double(scheduler_.labelQueue().realCount()); },
         "real entries in the label queue");
     stats_.regGauge(
         "label_queue_total",
-        [this] { return double(labelQueue_.size()); },
+        [this] { return double(scheduler_.labelQueue().size()); },
         "total entries in the label queue");
     stats_.regGauge(
         "addr_queue_depth",
-        [this] { return double(addrQueue_.size()); },
+        [this] { return double(admission_.queue().size()); },
         "entries in the address queue");
 
     setDebugTickSource(eq_.nowPtr());
@@ -153,26 +151,30 @@ OramController::~OramController()
 void
 OramController::setTracer(obs::Tracer *tracer)
 {
-    trc_ = tracer;
-    labelQueue_.setTracer(tracer);
+    ctx_.trc = tracer;
+    scheduler_.labelQueue().setTracer(tracer);
     stash_.setTracer(tracer);
     if (mac_)
         mac_->setTracer(tracer);
-    if (trc_ && trc_->on(obs::TraceLevel::access)) {
-        trc_->nameTrack(obs::Track::controller, "controller");
-        trc_->nameTrack(obs::Track::schedule, "scheduler");
-        trc_->nameTrack(obs::Track::cache, "caches");
-        trc_->nameTrack(obs::Track::revealed, "revealed");
-        trc_->nameTrack(obs::Track::stash, "stash");
-        trc_->nameTrack(obs::Track::queues, "queues");
+    if (tracer && tracer->on(obs::TraceLevel::access)) {
+        tracer->nameTrack(obs::Track::controller, "controller");
+        tracer->nameTrack(obs::Track::schedule, "scheduler");
+        tracer->nameTrack(obs::Track::cache, "caches");
+        tracer->nameTrack(obs::Track::revealed, "revealed");
+        tracer->nameTrack(obs::Track::stash, "stash");
+        tracer->nameTrack(obs::Track::queues, "queues");
+        tracer->nameTrack(obs::Track::admission, "admission");
+        tracer->instant(obs::Track::admission, "policy",
+                        {obs::TraceArg::str(
+                            "name", scheduler_.policy().name())});
     }
 }
 
 void
 OramController::setProfiler(obs::RequestProfiler *prof)
 {
-    prof_ = prof;
-    labelQueue_.setProfiler(prof);
+    ctx_.prof = prof;
+    scheduler_.labelQueue().setProfiler(prof);
     stash_.setProfiler(prof);
     if (mac_)
         mac_->setProfiler(prof);
@@ -181,7 +183,7 @@ OramController::setProfiler(obs::RequestProfiler *prof)
 bool
 OramController::canAccept() const
 {
-    return !addrQueue_.full();
+    return !admission_.queue().full();
 }
 
 void
@@ -201,7 +203,8 @@ OramController::request(oram::Op op, BlockAddr addr,
                         std::vector<std::uint8_t> payload,
                         DataCallback cb)
 {
-    if (addrQueue_.full())
+    AddressQueue &aq = admission_.queue();
+    if (aq.full())
         return 0;
 
     std::uint64_t id = nextId_;
@@ -213,10 +216,10 @@ OramController::request(oram::Op op, BlockAddr addr,
     entry.payload = std::move(payload);
     entry.arrival = eq_.now();
 
-    auto result = addrQueue_.insert(std::move(entry));
+    auto result = aq.insert(std::move(entry));
     fp_assert(result.accepted, "address queue rejected with space");
-    if (prof_)
-        prof_->onArrival(id);
+    if (ctx_.prof)
+        ctx_.prof->onArrival(id);
     if (result.cancelledId != 0) {
         // The superseded write is acknowledged immediately; the
         // younger write carries the live data from here on.
@@ -225,8 +228,8 @@ OramController::request(oram::Op op, BlockAddr addr,
     if (result.forwarded) {
         // Write-before-Read forwarding: done without an ORAM access.
         llcLatency_.sample(0.0);
-        if (prof_)
-            prof_->onComplete(id);
+        if (ctx_.prof)
+            ctx_.prof->onComplete(id);
         if (cb)
             cb(eq_.now(), result.forwardData);
         return id;
@@ -236,7 +239,7 @@ OramController::request(oram::Op op, BlockAddr addr,
     req.id = id;
     req.addr = addr;
     req.op = op;
-    req.payload = addrQueue_.find(id)->payload;
+    req.payload = aq.find(id)->payload;
     req.arrival = eq_.now();
     req.cb = std::move(cb);
     llc_.emplace(id, std::move(req));
@@ -250,9 +253,8 @@ OramController::request(oram::Op op, BlockAddr addr,
 bool
 OramController::realWorkPending() const
 {
-    return addrQueue_.issuableCount() > 0 ||
-           labelQueue_.realCount() > 0 ||
-           (pending_ && !pending_->dummy);
+    return admission_.queue().issuableCount() > 0 ||
+           scheduler_.realWork();
 }
 
 bool
@@ -279,8 +281,8 @@ OramController::respond(std::uint64_t llc_id,
     llc_.erase(it);
 
     llcLatency_.sample(fp::ticksToNs(eq_.now() - req.arrival));
-    if (prof_)
-        prof_->onComplete(llc_id);
+    if (ctx_.prof)
+        ctx_.prof->onComplete(llc_id);
     fp_assert(outstandingLlc_ > 0, "respond: LLC underflow");
     --outstandingLlc_;
     if (req.cb)
@@ -288,199 +290,14 @@ OramController::respond(std::uint64_t llc_id,
 
     // Releasing the address-queue entry may unblock held writes and
     // complete piggybacked reads.
-    for (std::uint64_t pid : addrQueue_.complete(llc_id, data))
+    for (std::uint64_t pid : admission_.queue().complete(llc_id, data))
         respond(pid, data);
 }
 
 void
 OramController::pumpFrontend()
 {
-    while (AddressEntry *e = addrQueue_.nextIssuable()) {
-        // Step 1: stash shortcut.
-        if (params_.oram.stashShortcut) {
-            if (mem::Block *blk = stash_.find(e->addr)) {
-                stashShortcuts_.inc();
-                if (prof_)
-                    prof_->countStashShortcut();
-                if (trc_ && trc_->on(obs::TraceLevel::access))
-                    trc_->instant(
-                        obs::Track::cache, "stash_shortcut",
-                        {obs::TraceArg::num("addr", e->addr)});
-                std::vector<std::uint8_t> data = blk->payload;
-                if (e->op == oram::Op::write)
-                    blk->payload = e->payload;
-                addrQueue_.markIssued(e->id);
-                respond(e->id, data);
-                continue;
-            }
-        }
-
-        // MAC data hit (paper Section 4): the block may sit in a
-        // cached bucket along its current path; if so it is promoted
-        // to the stash and the request completes without a DRAM
-        // access, exactly like a stash hit.
-        if (mac_ && tryMacDataHit(*e))
-            continue;
-
-        // Build the head of this request's access chain. With
-        // modelled recursion the head is a position-map access with a
-        // uniform label; otherwise it is the data access itself. A
-        // PLB hit lets the chain start below the cached translation.
-        ActiveAccess acc;
-        acc.dummy = false;
-        acc.llcId = e->id;
-        acc.chainIndex =
-            plb_ ? plb_->lookupChainStart(e->addr) : 0;
-        if (acc.chainIndex > 0 && trc_ &&
-            trc_->on(obs::TraceLevel::access)) {
-            trc_->instant(obs::Track::cache, "plb_hit",
-                          {obs::TraceArg::num("addr", e->addr),
-                           obs::TraceArg::num("chain_start",
-                                              acc.chainIndex)});
-        }
-        bool is_data = acc.chainIndex == params_.recursionDepth;
-        if (is_data) {
-            acc.addr = e->addr;
-            acc.label = posMap_.lookupOrAssign(e->addr);
-        } else {
-            acc.label = posMap_.randomLabel();
-        }
-
-        // Admission: dummy-replace / swap into pending, else the
-        // label queue proper.
-        bool admitted = tryReplaceOrSwapPending(acc);
-        if (!admitted) {
-            if (!labelQueue_.hasSpaceForReal())
-                break; // backpressure; retry on next pump
-            if (is_data)
-                acc.newLeaf = posMap_.remap(e->addr);
-            enqueueAccess(acc);
-        } else if (is_data) {
-            // Remap only once the access is definitely in flight.
-            // (tryReplaceOrSwapPending cannot be reached before the
-            // label lookup above, which it uses for the overlap.)
-            pending_->newLeaf = posMap_.remap(e->addr);
-        }
-        addrQueue_.markIssued(e->id);
-        if (prof_)
-            prof_->onIssue(e->id);
-    }
-}
-
-bool
-OramController::tryMacDataHit(AddressEntry &entry)
-{
-    // The block, if not stashed, lives somewhere on the path of its
-    // current label; probe the cached band's positions along it.
-    LeafLabel label = posMap_.lookupOrAssign(entry.addr);
-    for (unsigned level = mac_->m1(); level <= mac_->m2(); ++level) {
-        BucketIndex idx = geo_.bucketAt(label, level);
-        auto blk = mac_->extractBlock(idx, entry.addr);
-        if (!blk)
-            continue;
-        if (merkle_) {
-            const mem::Bucket *rest = mac_->peek(idx);
-            fp_assert(rest != nullptr, "MAC hit bucket vanished");
-            merkle_->updateBucket(idx, *rest);
-        }
-        fp_dtrace(cache, "MAC data hit addr=%llu at level %u",
-                  static_cast<unsigned long long>(entry.addr),
-                  level);
-        blk->leaf = posMap_.remap(entry.addr);
-        std::vector<std::uint8_t> data = blk->payload;
-        if (entry.op == oram::Op::write)
-            blk->payload = entry.payload;
-        stash_.insert(std::move(*blk));
-        addrQueue_.markIssued(entry.id);
-        respond(entry.id, data);
-        return true;
-    }
-    return false;
-}
-
-bool
-OramController::tryReplaceOrSwapPending(const ActiveAccess &incoming)
-{
-    if (!params_.enableMerging || !params_.enableDummyReplacing)
-        return false;
-    if (!writePhaseActive_ || !pending_ || !current_)
-        return false;
-
-    unsigned k_in = geo_.overlap(current_->label, incoming.label);
-    // The crossing bucket (deepest shared level, k_in - 1) must not
-    // have been issued yet: the refill sweeps leaf -> root, so levels
-    // strictly above nextWriteLevel_ are already committed to the
-    // command stream (paper Cases 1-3).
-    bool crossing_free =
-        static_cast<int>(k_in) - 1 <= nextWriteLevel_;
-    if (!crossing_free) {
-        // Case 2: the crossing bucket is already in the command
-        // stream, so the committed pending cannot change.
-        if (trc_ && trc_->on(obs::TraceLevel::access))
-            trc_->instant(
-                obs::Track::schedule, "replace_reject",
-                {obs::TraceArg::num("case", 2),
-                 obs::TraceArg::num("label", incoming.label),
-                 obs::TraceArg::num("overlap", k_in)});
-        return false;
-    }
-
-    if (pending_->dummy) {
-        fp_dtrace(sched,
-                  "replace dummy pending with label=%llu (k=%u)",
-                  static_cast<unsigned long long>(incoming.label),
-                  k_in);
-        pending_ = incoming;
-        writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
-        dummyReplacements_.inc();
-        if (prof_)
-            prof_->countWritebackReplaced();
-        // Case 1: a not-yet-committed padding dummy gives its slot
-        // to the late-arriving real request.
-        if (trc_ && trc_->on(obs::TraceLevel::access))
-            trc_->instant(
-                obs::Track::schedule, "dummy_replace",
-                {obs::TraceArg::num("case", 1),
-                 obs::TraceArg::num("label", incoming.label),
-                 obs::TraceArg::num("overlap", k_in)});
-        issueMoreWrites();
-        return true;
-    }
-
-    unsigned k_pend = geo_.overlap(current_->label, pending_->label);
-    if (k_in > k_pend) {
-        // Swap: the better-overlapping incoming becomes pending; the
-        // old pending rejoins the pool (Algorithm 1).
-        ActiveAccess old_pending = *pending_;
-        pending_ = incoming;
-        writeStopLevel_ = std::min<unsigned>(k_in, geo_.numLevels());
-        pendingSwaps_.inc();
-        if (prof_)
-            prof_->countPendingSwap();
-        // Case 3: a real pending is displaced by a better-overlapping
-        // real newcomer and rejoins the pool.
-        if (trc_ && trc_->on(obs::TraceLevel::access))
-            trc_->instant(
-                obs::Track::schedule, "pending_swap",
-                {obs::TraceArg::num("case", 3),
-                 obs::TraceArg::num("label", incoming.label),
-                 obs::TraceArg::num("overlap", k_in),
-                 obs::TraceArg::num("old_overlap", k_pend)});
-        enqueueAccess(old_pending);
-        issueMoreWrites();
-        return true;
-    }
-    return false;
-}
-
-void
-OramController::enqueueAccess(const ActiveAccess &access)
-{
-    std::uint64_t token = nextToken_++;
-    accessPool_.emplace(token, access);
-    bool ok = labelQueue_.insertReal(access.label, token,
-                                     /*allow_overflow=*/true);
-    fp_assert(ok, "label queue rejected an overflow insert");
+    admission_.pump(phase_ != Phase::idle);
 }
 
 void
@@ -502,15 +319,11 @@ OramController::maybeStartBackend()
         return;
 
     if (!current_) {
-        // Pick a fresh access from the label queue.
-        if (params_.enableMerging) {
-            if (!shouldRunBackend())
-                return; // never spin pure-dummy cycles while idle
-            labelQueue_.ensureFull();
-        }
-        auto entry = labelQueue_.selectNext(prevLabel_);
-        if (entry) {
-            current_ = toActive(*entry);
+        // Pick a fresh access via the scheduling policy.
+        if (scheduler_.policy().merging() && !shouldRunBackend())
+            return; // never spin pure-dummy cycles while idle
+        if (auto acc = scheduler_.selectFresh()) {
+            current_ = *acc;
         } else if (params_.periodicIntervalTicks != 0) {
             // Non-merging periodic baseline: keep the stream alive
             // with a plain dummy access.
@@ -522,11 +335,11 @@ OramController::maybeStartBackend()
             return;
         }
         // A cold pick never has retained levels beyond what the last
-        // write left; retainedLevels_ already reflects that.
+        // write left; the scheduler's retained prefix reflects that.
     }
 
     // A committed dummy's read runs eagerly even when idle (it is
-    // off the critical path); its refill parks in finishRead.
+    // off the critical path); its refill parks in onReadDone.
     phase_ = Phase::readWait;
     Tick when = eq_.now() + params_.idleGapTicks;
     if (params_.periodicIntervalTicks != 0) {
@@ -541,164 +354,20 @@ OramController::maybeStartBackend()
     });
 }
 
-OramController::ActiveAccess
-OramController::toActive(const LabelEntry &entry)
-{
-    if (entry.dummy) {
-        ActiveAccess acc;
-        acc.dummy = true;
-        acc.label = entry.label;
-        return acc;
-    }
-    auto it = accessPool_.find(entry.token);
-    fp_assert(it != accessPool_.end(), "label entry without access");
-    ActiveAccess acc = it->second;
-    accessPool_.erase(it);
-    return acc;
-}
-
 void
 OramController::startRead()
 {
     fp_assert(current_.has_value(), "startRead without current");
     phase_ = Phase::reading;
-    readStartTick_ = eq_.now();
-    readStartLevel_ =
-        params_.enableMerging ? retainedLevels_ : 0;
-    forkLevelHist_.sample(static_cast<double>(readStartLevel_));
-    if (readStartLevel_ > 0) {
-        mergeSkippedLevels_.inc(readStartLevel_);
-        for (unsigned l = 0; l < readStartLevel_; ++l)
-            ++mergeSkipsPerLevel_[l];
-    }
-    fp_dtrace(oram, "read  label=%llu start_level=%u%s",
-              static_cast<unsigned long long>(current_->label),
-              readStartLevel_, current_->dummy ? " (dummy)" : "");
-    if (prof_ && !current_->dummy &&
-        current_->chainIndex == params_.recursionDepth)
-        prof_->onReadStart(current_->llcId);
-    dramBucketsThisRead_ = 0;
-    fp_assert(outstandingReads_ == 0, "reads leak across accesses");
-
-    for (unsigned level = readStartLevel_;
-         level <= geo_.leafLevel(); ++level) {
-        readBucketAt(level);
-    }
-    if (outstandingReads_ == 0) {
-        // Entire read phase served on chip (or zero-length fork).
-        eq_.scheduleIn(0, [this] {
-            if (phase_ == Phase::reading && outstandingReads_ == 0)
-                finishRead();
-        });
-    }
+    unsigned start_level = scheduler_.policy().merging()
+                               ? scheduler_.retainedLevels()
+                               : 0;
+    read_.start(*current_, start_level, [this] { onReadDone(); });
 }
 
 void
-OramController::readBucketAt(unsigned level)
+OramController::onReadDone()
 {
-    BucketIndex idx = geo_.bucketAt(current_->label, level);
-
-    if (treetop_ && treetop_->covers(level)) {
-        mem::Bucket bucket = store_.readBucket(idx);
-        if (merkle_)
-            integrityRead_[level] = bucket;
-        ingestBucket(std::move(bucket));
-        onChipBucketReads_.inc();
-        if (prof_)
-            prof_->countOnChipRead();
-        return;
-    }
-    if (mac_ && mac_->inRange(level)) {
-        if (auto bucket = mac_->extract(idx)) {
-            if (merkle_)
-                integrityRead_[level] = *bucket;
-            ingestBucket(std::move(*bucket));
-            onChipBucketReads_.inc();
-            if (prof_)
-                prof_->countOnChipRead();
-            return;
-        }
-    }
-
-    {
-        mem::Bucket bucket = store_.readBucket(idx);
-        if (merkle_)
-            integrityRead_[level] = bucket;
-        ingestBucket(std::move(bucket));
-    }
-    ++dramBucketsThisRead_;
-    ++outstandingReads_;
-    mem::BackendRequest req;
-    req.addr = layout_.physAddr(idx);
-    req.isWrite = false;
-    req.bytes = params_.bucketBytes();
-    req.onComplete = [this](Tick) {
-        fp_assert(outstandingReads_ > 0, "read completion underflow");
-        if (--outstandingReads_ == 0 && phase_ == Phase::reading)
-            finishRead();
-    };
-    fingerprintRequest(req.addr, req.isWrite, req.bytes);
-    mem_.access(std::move(req));
-}
-
-void
-OramController::fingerprintRequest(Addr addr, bool is_write,
-                                   std::uint64_t bytes)
-{
-    constexpr std::uint64_t prime = 1099511628211ULL;
-    auto fold = [this, prime](std::uint64_t v, unsigned bytes_of) {
-        for (unsigned i = 0; i < bytes_of; ++i) {
-            reqFingerprint_ ^= (v >> (8 * i)) & 0xffu;
-            reqFingerprint_ *= prime;
-        }
-    };
-    fold(addr, 8);
-    fold(is_write ? 1 : 0, 1);
-    fold(bytes, 8);
-}
-
-void
-OramController::ingestBucket(mem::Bucket bucket)
-{
-    for (mem::Block &blk : bucket.takeAll())
-        stash_.insertOrIgnore(std::move(blk));
-}
-
-void
-OramController::finishRead()
-{
-    fp_assert(phase_ == Phase::reading, "finishRead out of phase");
-    if (merkle_) {
-        std::vector<mem::Bucket> slice(
-            integrityRead_.begin() + readStartLevel_,
-            integrityRead_.end());
-        if (!merkle_->verifySlice(current_->label, readStartLevel_,
-                                  slice)) {
-            fp_panic("integrity violation: path %llu failed Merkle "
-                     "verification (active attack detected)",
-                     static_cast<unsigned long long>(
-                         current_->label));
-        }
-    }
-    readLen_.sample(static_cast<double>(geo_.numLevels()) -
-                    readStartLevel_);
-    dramReadLen_.sample(static_cast<double>(dramBucketsThisRead_));
-    readDoneTick_ = eq_.now();
-    if (prof_ && !current_->dummy &&
-        current_->chainIndex == params_.recursionDepth)
-        prof_->onReadDone(current_->llcId);
-
-    if (trc_ && trc_->on(obs::TraceLevel::access)) {
-        trc_->complete(
-            obs::Track::controller,
-            readStartLevel_ > 0 ? "read_merged" : "read",
-            readStartTick_, readDoneTick_,
-            {obs::TraceArg::num("label", current_->label),
-             obs::TraceArg::num("start_level", readStartLevel_),
-             obs::TraceArg::flag("dummy", current_->dummy),
-             obs::TraceArg::num("dram_buckets", dramBucketsThisRead_)});
-    }
-
     ActiveAccess &acc = *current_;
     if (!acc.dummy) {
         if (acc.chainIndex < params_.recursionDepth) {
@@ -721,8 +390,8 @@ OramController::finishRead()
             } else {
                 next.label = posMap_.randomLabel();
             }
-            if (!tryReplaceOrSwapPending(next))
-                enqueueAccess(next);
+            if (!scheduler_.tryReplaceOrSwap(next, current_))
+                scheduler_.enqueue(next);
         } else {
             // Data element: install the block and answer the LLC.
             auto it = llc_.find(acc.llcId);
@@ -753,8 +422,8 @@ OramController::finishRead()
         // maybeStartBackend on the next arrival).
         fp_dtrace(oram, "park  label=%llu awaiting real work",
                   static_cast<unsigned long long>(current_->label));
-        if (trc_ && trc_->on(obs::TraceLevel::access))
-            trc_->instant(
+        if (ctx_.traceOn())
+            ctx_.trc->instant(
                 obs::Track::controller, "park",
                 {obs::TraceArg::num("label", current_->label)});
         phase_ = Phase::writeParked;
@@ -773,174 +442,57 @@ OramController::startWrite()
 {
     fp_assert(current_.has_value(), "startWrite without current");
     phase_ = Phase::writing;
-    writePhaseActive_ = true;
-    writeStartTick_ = eq_.now();
-    dramBucketsThisWrite_ = 0;
-    fp_assert(outstandingWrites_ == 0, "writes leak across accesses");
-
-    if (params_.enableMerging) {
-        labelQueue_.ensureFull();
-        auto entry = labelQueue_.selectNext(current_->label);
-        fp_assert(entry.has_value(), "full queue returned nothing");
-        pending_ = toActive(*entry);
-        writeStopLevel_ = std::min<unsigned>(
-            geo_.overlap(current_->label, pending_->label),
-            geo_.numLevels());
-        fp_dtrace(sched,
-                  "pending label=%llu%s overlap=%u (queue real=%zu)",
-                  static_cast<unsigned long long>(pending_->label),
-                  pending_->dummy ? " (dummy)" : "",
-                  writeStopLevel_, labelQueue_.realCount());
-    } else {
-        pending_.reset();
-        writeStopLevel_ = 0;
-    }
-    overlapHist_.sample(static_cast<double>(writeStopLevel_));
-
-    fp_dtrace(oram, "write label=%llu stop_level=%u",
-              static_cast<unsigned long long>(current_->label),
-              writeStopLevel_);
-    nextWriteLevel_ = static_cast<int>(geo_.leafLevel());
-    issueMoreWrites();
+    unsigned stop_level = scheduler_.scheduleWriteback(*current_);
+    wb_.start(*current_, stop_level, [this] { onWriteDone(); });
 }
 
 void
-OramController::issueMoreWrites()
+OramController::onWriteDone()
 {
-    if (!writePhaseActive_)
-        return;
-    while (outstandingWrites_ < params_.writeWindow &&
-           nextWriteLevel_ >= static_cast<int>(writeStopLevel_)) {
-        writeBucketAt(static_cast<unsigned>(nextWriteLevel_));
-        --nextWriteLevel_;
-    }
-    checkWriteDone();
-}
-
-void
-OramController::writeBucketAt(unsigned level)
-{
-    BucketIndex idx = geo_.bucketAt(current_->label, level);
-    bucketsWritten_.inc();
-
-    mem::Bucket bucket(params_.oram.z);
-    for (mem::Block &blk :
-         stash_.evictForBucket(current_->label, level,
-                               params_.oram.z)) {
-        bucket.add(std::move(blk));
-    }
-    if (merkle_)
-        integrityWrite_[level] = bucket;
-
-    if (treetop_ && treetop_->covers(level)) {
-        store_.writeBucket(idx, bucket);
-        return; // on-chip, no DRAM traffic
-    }
-
-    bool dram_write = true;
-    if (mac_ && mac_->inRange(level)) {
-        auto victim = mac_->insert(idx, std::move(bucket));
-        dram_write = false;
-        if (victim) {
-            // Write the displaced bucket back to memory instead.
-            store_.writeBucket(victim->idx, std::move(victim->bucket));
-            macVictimWrites_.inc();
-            idx = victim->idx;
-            dram_write = true;
-        }
-    } else {
-        store_.writeBucket(idx, bucket);
-    }
-
-    if (!dram_write)
-        return;
-
-    dramBucketWrites_.inc();
-    ++dramBucketsThisWrite_;
-    ++outstandingWrites_;
-    mem::BackendRequest req;
-    req.addr = layout_.physAddr(idx);
-    req.isWrite = true;
-    req.bytes = params_.bucketBytes();
-    req.onComplete = [this](Tick) {
-        fp_assert(outstandingWrites_ > 0, "write completion underflow");
-        --outstandingWrites_;
-        issueMoreWrites();
-    };
-    fingerprintRequest(req.addr, req.isWrite, req.bytes);
-    mem_.access(std::move(req));
-}
-
-void
-OramController::checkWriteDone()
-{
-    if (!writePhaseActive_)
-        return;
-    if (nextWriteLevel_ >= static_cast<int>(writeStopLevel_))
-        return;
-    if (outstandingWrites_ > 0)
-        return;
-    finishWrite();
-}
-
-void
-OramController::finishWrite()
-{
-    writePhaseActive_ = false;
     phase_ = Phase::idle;
 
-    if (merkle_ && writeStopLevel_ < geo_.numLevels()) {
-        std::vector<mem::Bucket> slice(
-            integrityWrite_.begin() + writeStopLevel_,
-            integrityWrite_.end());
-        merkle_->updateSlice(current_->label, writeStopLevel_,
-                             slice);
-    }
-
     dramService_.sample(
-        fp::ticksToNs((readDoneTick_ - readStartTick_) +
-                      (eq_.now() - writeStartTick_)));
+        fp::ticksToNs((read_.doneTick() - read_.startTick()) +
+                      (eq_.now() - wb_.startTick())));
     if (current_->dummy)
         dummyAccesses_.inc();
     else
         realAccesses_.inc();
-    if (prof_) {
-        prof_->sampleWriteback(writeStartTick_, eq_.now());
-        prof_->onAccessDone(current_->dummy, readStartLevel_,
-                            writeStopLevel_, geo_.numLevels(),
-                            dramBucketsThisRead_,
-                            dramBucketsThisWrite_);
+    if (ctx_.prof) {
+        ctx_.prof->onAccessDone(current_->dummy, read_.startLevel(),
+                                wb_.stopLevel(), geo_.numLevels(),
+                                read_.dramBuckets(),
+                                wb_.dramBuckets());
     }
 
     if (revealTraceEnabled_) {
-        revealTrace_.push_back({current_->label, readStartLevel_,
-                                writeStopLevel_, current_->dummy,
-                                readStartTick_});
+        revealTrace_.push_back({current_->label, read_.startLevel(),
+                                wb_.stopLevel(), current_->dummy,
+                                read_.startTick()});
     }
-    if (trc_ && trc_->on(obs::TraceLevel::access)) {
-        trc_->complete(
-            obs::Track::controller, "refill", writeStartTick_,
+    if (ctx_.traceOn()) {
+        ctx_.trc->complete(
+            obs::Track::controller, "refill", wb_.startTick(),
             eq_.now(),
             {obs::TraceArg::num("label", current_->label),
-             obs::TraceArg::num("stop_level", writeStopLevel_)});
+             obs::TraceArg::num("stop_level", wb_.stopLevel())});
         // The revealed track carries exactly what an adversary on
         // the memory bus sees: one slice per access, shaped by the
         // revealTrace() fields (tests/test_obs.cc checks agreement).
-        trc_->complete(
-            obs::Track::revealed, "access", readStartTick_, eq_.now(),
+        ctx_.trc->complete(
+            obs::Track::revealed, "access", read_.startTick(),
+            eq_.now(),
             {obs::TraceArg::num("label", current_->label),
-             obs::TraceArg::num("read_start", readStartLevel_),
-             obs::TraceArg::num("write_stop", writeStopLevel_),
+             obs::TraceArg::num("read_start", read_.startLevel()),
+             obs::TraceArg::num("write_stop", wb_.stopLevel()),
              obs::TraceArg::flag("dummy", current_->dummy)});
     }
 
     stash_.recordOccupancy();
-    prevLabel_ = current_->label;
-    retainedLevels_ = writeStopLevel_;
+    scheduler_.noteAccessDone(current_->label, wb_.stopLevel());
 
-    if (params_.enableMerging) {
-        current_ = pending_;
-        pending_.reset();
+    if (scheduler_.policy().merging()) {
+        current_ = scheduler_.takePending();
     } else {
         current_.reset();
     }

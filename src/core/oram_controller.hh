@@ -1,18 +1,20 @@
 /**
  * @file
- * The Fork Path ORAM controller (paper Section 4, Figure 9), combining
- * every technique of the paper behind feature flags so the same
- * machine serves as the traditional-Path-ORAM baseline:
+ * The ORAM controller: owner and orchestrator of the staged access
+ * pipeline (paper Section 4, Figure 9). The heavy lifting lives in
+ * four stages sharing one PipelineContext —
  *
- *  - an address queue with the four hazard rules;
- *  - a position map (flat on-chip; hierarchical recursion is modelled
- *    as chains of uniformly-labelled accesses per LLC miss);
- *  - a label queue with overlap scheduling, dummy padding, aging and
- *    dummy label replacing (Algorithm 1);
- *  - path merging: the write (refill) phase of the current access
- *    stops at its overlap with the scheduled next access, and the next
- *    read phase starts exactly there (the fork shape);
- *  - merging-aware or treetop caching between the stash and DRAM.
+ *   AdmissionStage    address queue -> scheduler (core/admission_stage.hh)
+ *   PathScheduler     label queue + AccessPolicy  (core/path_scheduler.hh)
+ *   ReadEngine        fork-shaped path fetches    (core/read_engine.hh)
+ *   WritebackEngine   windowed refills            (core/writeback_engine.hh)
+ *
+ * — while the controller keeps the LLC request table, the per-access
+ * phase machine, and the run-level stats. Which of the paper's
+ * techniques are active is decided by the ControllerParams::policy
+ * scheduling policy (core/access_policy.hh): `traditional` is the
+ * baseline Path ORAM machine, `forkpath` (default) the paper's
+ * design, `batched` a batch-draining variant.
  *
  * The controller is event-driven against a mem::MemoryBackend for
  * timing (the DDR3 model behind dram::DramBackend, or mem::NetBackend
@@ -45,10 +47,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/access_policy.hh"
 #include "core/address_queue.hh"
+#include "core/admission_stage.hh"
+#include "core/controller_params.hh"
 #include "core/label_queue.hh"
 #include "core/merging_cache.hh"
+#include "core/path_scheduler.hh"
+#include "core/pipeline.hh"
 #include "core/plb.hh"
+#include "core/read_engine.hh"
+#include "core/writeback_engine.hh"
 #include "dram/address_mapping.hh"
 #include "mem/backend.hh"
 #include "mem/tree_store.hh"
@@ -73,92 +82,6 @@ class RequestProfiler;
 
 namespace fp::core
 {
-
-enum class CachePolicy
-{
-    none,
-    treetop,
-    mac,
-};
-
-struct ControllerParams
-{
-    oram::OramParams oram;
-
-    // --- Fork Path features -------------------------------------------
-    bool enableMerging = true;
-    unsigned labelQueueSize = 64;
-    /**
-     * Selection rounds a real request may lose to better-overlapping
-     * entries before it is force-promoted (the Cnt threshold of
-     * Figure 9). Small values bound the dummy-competition penalty of
-     * low-intensity workloads; large values let the overlap
-     * heuristic act freely under backlog.
-     */
-    unsigned agingThreshold = 4;
-    DummySelectPolicy dummyPolicy = DummySelectPolicy::compete;
-    bool enableDummyReplacing = true;
-
-    // --- caching -------------------------------------------------------
-    CachePolicy cachePolicy = CachePolicy::none;
-    std::uint64_t cacheBudgetBytes = std::uint64_t{1} << 20;
-    unsigned macBucketsPerSet = 2;
-    /** Bottom MAC level; -1 derives m1 from the queue size. */
-    int macM1 = -1;
-
-    // --- structure -------------------------------------------------------
-    /** Position-map recursion levels modelled as access chains. */
-    unsigned recursionDepth = 0;
-    /** Translations per posmap block (PLB geometry). */
-    unsigned recursionFanout = 8;
-    /** PLB capacity in translations (0 = no PLB). */
-    std::size_t plbEntries = 0;
-    std::size_t addressQueueSize = 128;
-
-    /**
-     * Background eviction (Ren et al.): while the stash is at or
-     * above its soft capacity, keep running dummy accesses instead
-     * of parking, draining blocks back into the tree.
-     */
-    bool backgroundEviction = true;
-
-    /**
-     * Maintain and check a Merkle hash tree over the ORAM tree
-     * (paper Section 2.2's combinable integrity protection). A
-     * failed verification is a detected active attack and panics.
-     */
-    bool enableIntegrity = false;
-
-    // --- timing ----------------------------------------------------------
-    /** Outstanding bucket writes during a refill (paces commitment). */
-    unsigned writeWindow = 4;
-    /** Gap between read and write phases (Figure 1(c) idle). */
-    Tick idleGapTicks = 10'000; // 10 ns
-
-    /**
-     * Periodic (nonstop-stream) operation, paper Section 2.2: when
-     * non-zero, an ORAM access starts every this many ticks whether
-     * or not real requests exist, fully sealing the timing channel.
-     * 0 = demand-driven operation (what the paper's evaluation
-     * uses). In periodic mode the event queue never drains; drive
-     * the simulation with a bounded run.
-     */
-    Tick periodicIntervalTicks = 0;
-    /** DRAM footprint of one block (meta folded in). */
-    std::uint64_t blockPhysBytes = 64;
-    dram::LayoutPolicy layout = dram::LayoutPolicy::subtree;
-
-    std::uint64_t bucketBytes() const
-    {
-        return blockPhysBytes * oram.z;
-    }
-
-    /** The paper's traditional (baseline) Path ORAM configuration. */
-    static ControllerParams traditional();
-
-    /** The paper's default Fork Path configuration (queue 64). */
-    static ControllerParams forkPath();
-};
 
 /** Revealed (adversary-visible) shape of one ORAM access. */
 struct RevealedAccess
@@ -206,10 +129,16 @@ class OramController
     const fp::Histogram &oramLatency() const { return llcLatency_; }
 
     /** Average tree-path length fetched per ORAM access (buckets). */
-    double avgReadPathLength() const { return readLen_.mean(); }
+    double avgReadPathLength() const
+    {
+        return read_.readLenStat().mean();
+    }
 
     /** Average buckets actually fetched from DRAM per access. */
-    double avgDramBucketsRead() const { return dramReadLen_.mean(); }
+    double avgDramBucketsRead() const
+    {
+        return read_.dramReadLenStat().mean();
+    }
 
     /** Average DRAM busy time per ORAM access (ns, read+write). */
     double avgDramServiceNs() const { return dramService_.mean(); }
@@ -217,10 +146,13 @@ class OramController
     // Underlying running averages, for cross-shard aggregation via
     // Average::merge (a mean of per-shard means would weight shards
     // equally regardless of how many accesses each one served).
-    const fp::Average &readPathLengthStat() const { return readLen_; }
+    const fp::Average &readPathLengthStat() const
+    {
+        return read_.readLenStat();
+    }
     const fp::Average &dramBucketsReadStat() const
     {
-        return dramReadLen_;
+        return read_.dramReadLenStat();
     }
     const fp::Average &dramServiceStat() const { return dramService_; }
 
@@ -235,38 +167,41 @@ class OramController
     }
     std::uint64_t dummyReplacements() const
     {
-        return dummyReplacements_.value();
+        return scheduler_.dummyReplacements();
     }
-    std::uint64_t pendingSwaps() const { return pendingSwaps_.value(); }
+    std::uint64_t pendingSwaps() const
+    {
+        return scheduler_.pendingSwaps();
+    }
     std::uint64_t stashShortcuts() const
     {
-        return stashShortcuts_.value();
+        return admission_.stashShortcuts();
     }
     std::uint64_t bucketsReadTotal() const
     {
-        return static_cast<std::uint64_t>(readLen_.sum());
+        return static_cast<std::uint64_t>(read_.readLenStat().sum());
     }
     std::uint64_t bucketsWrittenTotal() const
     {
-        return bucketsWritten_.value();
+        return wb_.bucketsWritten();
     }
     std::uint64_t dramBucketWrites() const
     {
-        return dramBucketWrites_.value();
+        return wb_.dramBucketWrites();
     }
     std::uint64_t onChipBucketReads() const
     {
-        return onChipBucketReads_.value();
+        return read_.onChipBucketReads();
     }
     /** Total tree levels skipped by path merging (summed forks). */
     std::uint64_t mergedLevelsSkipped() const
     {
-        return mergeSkippedLevels_.value();
+        return read_.mergedLevelsSkipped();
     }
     /** Accesses that skipped level l, indexed by l (merge benefit). */
     const std::vector<std::uint64_t> &mergeSkipsPerLevel() const
     {
-        return mergeSkipsPerLevel_;
+        return read_.mergeSkipsPerLevel();
     }
     /**
      * FNV-1a fingerprint of every backend request this controller
@@ -277,13 +212,19 @@ class OramController
      */
     std::uint64_t reqStreamFingerprint() const
     {
-        return reqFingerprint_;
+        return ctx_.reqFingerprint;
     }
 
     /** Distribution of read-phase fork levels. */
-    const fp::Histogram &forkLevelHist() const { return forkLevelHist_; }
+    const fp::Histogram &forkLevelHist() const
+    {
+        return read_.forkLevelHist();
+    }
     /** Distribution of scheduled overlap (refill stop levels). */
-    const fp::Histogram &overlapHist() const { return overlapHist_; }
+    const fp::Histogram &overlapHist() const
+    {
+        return scheduler_.overlapHist();
+    }
 
     // --- component access (tests, examples) ------------------------------
     const ControllerParams &params() const { return params_; }
@@ -291,13 +232,21 @@ class OramController
     oram::Stash &stash() { return stash_; }
     mem::TreeStore &store() { return store_; }
     oram::PositionMap &positionMap() { return posMap_; }
-    LabelQueue &labelQueue() { return labelQueue_; }
-    AddressQueue &addressQueue() { return addrQueue_; }
+    LabelQueue &labelQueue() { return scheduler_.labelQueue(); }
+    AddressQueue &addressQueue() { return admission_.queue(); }
     MergingAwareCache *mac() { return mac_.get(); }
     const oram::TreetopCache *treetop() const { return treetop_.get(); }
     oram::MerkleTree *merkle() { return merkle_.get(); }
     PosmapLookasideBuffer *plb() { return plb_.get(); }
     mem::MemoryBackend &memory() { return mem_; }
+
+    // --- pipeline stage access -------------------------------------------
+    AdmissionStage &admission() { return admission_; }
+    PathScheduler &scheduler() { return scheduler_; }
+    ReadEngine &readEngine() { return read_; }
+    WritebackEngine &writebackEngine() { return wb_; }
+    /** The active scheduling policy (see core/access_policy.hh). */
+    const AccessPolicy &policy() const { return scheduler_.policy(); }
 
     /** Record the adversary-visible access shapes (security tests). */
     void setRevealTraceEnabled(bool enabled)
@@ -337,17 +286,6 @@ class OramController
     void setRequestIdStream(std::uint64_t first, std::uint64_t stride);
 
   private:
-    /** One ORAM access being processed or scheduled next. */
-    struct ActiveAccess
-    {
-        LeafLabel label = invalidLeaf;
-        bool dummy = true;
-        std::uint64_t llcId = 0;       //!< Owning LLC request.
-        unsigned chainIndex = 0;       //!< Recursion chain position.
-        BlockAddr addr = invalidBlockAddr; //!< Data element only.
-        LeafLabel newLeaf = invalidLeaf;   //!< Remap target.
-    };
-
     /** A live LLC request. */
     struct LlcRequest
     {
@@ -382,32 +320,24 @@ class OramController
                    mem::MemoryBackend *ext,
                    std::unique_ptr<mem::MemoryBackend> owned);
 
+    /** fp_fatal on invalid params, pass through otherwise. */
+    static const ControllerParams &checked(const ControllerParams &p);
+
     // --- frontend --------------------------------------------------------
     void pumpFrontend();
-    bool tryMacDataHit(AddressEntry &entry);
-    bool tryReplaceOrSwapPending(const ActiveAccess &incoming);
-    void enqueueAccess(const ActiveAccess &access);
     bool realWorkPending() const;
     bool shouldRunBackend() const;
     void respond(std::uint64_t llc_id,
                  const std::vector<std::uint8_t> &data);
-    ActiveAccess toActive(const LabelEntry &entry);
 
     // --- backend phase machine --------------------------------------------
     void maybeStartBackend();
     void startRead();
-    void finishRead();
+    /** Stage boundary: the ReadEngine finished the current fetch. */
+    void onReadDone();
     void startWrite();
-    void issueMoreWrites();
-    void checkWriteDone();
-    void finishWrite();
-
-    /** Fetch one bucket of the current path (cache-aware). */
-    void readBucketAt(unsigned level);
-    /** Refill one bucket of the current path (cache-aware). */
-    void writeBucketAt(unsigned level);
-    /** Move a fetched bucket's blocks into the stash. */
-    void ingestBucket(mem::Bucket bucket);
+    /** Stage boundary: the WritebackEngine finished the refill. */
+    void onWriteDone();
 
     /** Set only by the DramSystem convenience constructor; must
      *  precede mem_ so the reference binds to a live object. */
@@ -426,81 +356,37 @@ class OramController
     std::unique_ptr<MergingAwareCache> mac_;
     std::unique_ptr<oram::MerkleTree> merkle_;
     std::unique_ptr<PosmapLookasideBuffer> plb_;
-
-    /** Per-phase bucket captures for integrity (indexed by level). */
-    std::vector<mem::Bucket> integrityRead_;
-    std::vector<mem::Bucket> integrityWrite_;
-
-    AddressQueue addrQueue_;
-    LabelQueue labelQueue_;
     Rng rng_;
+
+    /** Shared stage substrate; must follow the components above and
+     *  precede the stages, whose constructors bind to it. */
+    PipelineContext ctx_;
+    WritebackEngine wb_;
+    ReadEngine read_;
+    PathScheduler scheduler_;
+    AdmissionStage admission_;
 
     std::unordered_map<std::uint64_t, LlcRequest> llc_;
     std::uint64_t nextId_ = 1;
     std::uint64_t idStride_ = 1;
     std::size_t outstandingLlc_ = 0;
 
-    /** Real accesses parked in the label queue, keyed by token. */
-    std::unordered_map<std::uint64_t, ActiveAccess> accessPool_;
-    std::uint64_t nextToken_ = 1;
-
     // Backend state.
     Phase phase_ = Phase::idle;
     std::optional<ActiveAccess> current_;
-    std::optional<ActiveAccess> pending_;
-
-    /** Fork point: first level the next read phase must fetch. */
-    unsigned retainedLevels_ = 0;
-    LeafLabel prevLabel_ = 0;
 
     /** Next access slot in periodic mode. */
     Tick periodicNextStart_ = 0;
 
-    // Read phase bookkeeping.
-    unsigned outstandingReads_ = 0;
-    Tick readStartTick_ = 0;
-    Tick readDoneTick_ = 0;
-    unsigned readStartLevel_ = 0;
-    unsigned dramBucketsThisRead_ = 0;
-
-    // Write phase bookkeeping.
-    unsigned dramBucketsThisWrite_ = 0;
-    unsigned writeStopLevel_ = 0;
-    int nextWriteLevel_ = -1;     //!< Next level to issue (downward).
-    unsigned outstandingWrites_ = 0;
-    Tick writeStartTick_ = 0;
-    bool writePhaseActive_ = false;
-
     bool revealTraceEnabled_ = false;
     std::vector<RevealedAccess> revealTrace_;
 
-    obs::Tracer *trc_ = nullptr;
-    obs::RequestProfiler *prof_ = nullptr;
-
-    // Stats.
+    // Run-level stats (per-phase stats live in the stages).
     fp::Histogram llcLatency_;
-    fp::Histogram forkLevelHist_;
-    fp::Histogram overlapHist_;
-    fp::Counter mergeSkippedLevels_;
-    std::vector<std::uint64_t> mergeSkipsPerLevel_;
-    fp::Average readLen_;
-    fp::Average dramReadLen_;
     fp::Average dramService_;
     fp::Counter realAccesses_;
     fp::Counter dummyAccesses_;
-    fp::Counter dummyReplacements_;
-    fp::Counter pendingSwaps_;
-    fp::Counter stashShortcuts_;
-    fp::Counter onChipBucketReads_;
-    fp::Counter macVictimWrites_;
-    fp::Counter bucketsWritten_;
-    fp::Counter dramBucketWrites_;
     fp::StatGroup stats_;
-
-    /** Fold one issued request into reqFingerprint_. */
-    void fingerprintRequest(Addr addr, bool is_write,
-                            std::uint64_t bytes);
-    std::uint64_t reqFingerprint_ = 14695981039346656037ULL;
 };
 
 } // namespace fp::core

@@ -52,6 +52,7 @@ enum class Track : unsigned
     queues = 6,     //!< label/address queue occupancy counters
     resilience = 7, //!< fault injections, retries, timeouts, dedups
     requests = 8,   //!< per-request lifecycle async spans (profiler)
+    admission = 9,  //!< address-queue admission (policy, batching)
     /** Per-channel DRAM command tracks: dram0 + channel id. */
     dram0 = 16,
 };

@@ -198,6 +198,28 @@ void applyBackendFlags(SimConfig &cfg, const CliArgs &args);
  */
 void applyFaultFlags(SimConfig &cfg, const CliArgs &args);
 
+/**
+ * Apply the scheduling-policy flags to @p cfg:
+ *
+ *   --policy=NAME        access policy from the core registry
+ *                        ("traditional", "forkpath", "batched");
+ *                        applies the policy's canonical preset via
+ *                        core::applyPolicyPreset, keeping the ORAM
+ *                        geometry and timing knobs
+ *   --batch-size=N       admission batch of the batched policy (8)
+ *
+ * Unknown names and non-positive batch sizes are fatal. Absent flags
+ * leave @p cfg's controller untouched, so default invocations stay
+ * byte-identical to historical output.
+ */
+void applyPolicyFlags(SimConfig &cfg, const CliArgs &args);
+
+/** Select a scheduling policy by kind (core registry preset). */
+SimConfig withPolicy(SimConfig cfg, core::PolicyKind kind);
+
+/** Select a scheduling policy by registry name (fatal if unknown). */
+SimConfig withPolicyName(SimConfig cfg, const std::string &name);
+
 /** Controller variants used across the figures. */
 SimConfig withTraditional(SimConfig cfg);
 SimConfig withMergeOnly(SimConfig cfg, unsigned queue_size = 64);

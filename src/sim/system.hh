@@ -89,6 +89,18 @@ class System
     {
         return shardParts_[s].profiler.get();
     }
+    /** Shard s's fault injector; null unless cfg.faults.enabled()
+     *  on a sharded run. */
+    mem::FaultInjector *shardInjector(unsigned s)
+    {
+        return shardParts_[s].injector.get();
+    }
+    /** Shard s's retry layer; null unless the resilience stack was
+     *  built (see resilientBackend()) on a sharded run. */
+    mem::ResilientBackend *shardResilient(unsigned s)
+    {
+        return shardParts_[s].resilient.get();
+    }
     /** Null unless cfg.obs.traceOut was set. */
     obs::Tracer *tracer() { return tracer_.get(); }
     /** Null unless cfg.obs.statsOut was set. */

@@ -72,7 +72,7 @@ smallParams(unsigned leaf_level = 6, std::size_t payload = 8)
     p.oram.z = 4;
     p.oram.payloadBytes = payload;
     p.oram.seed = 4321;
-    p.enableMerging = true;
+    p.policy = core::PolicyKind::forkpath;
     p.enableDummyReplacing = true;
     p.labelQueueSize = 8;
     p.cachePolicy = CachePolicy::none;
@@ -120,7 +120,7 @@ TEST(Controller, ForkPathReadYourWrites)
 TEST(Controller, TraditionalReadYourWrites)
 {
     auto p = smallParams();
-    p.enableMerging = false;
+    p.policy = core::PolicyKind::traditional;
     p.enableDummyReplacing = false;
     p.labelQueueSize = 1;
     Harness h(p);
@@ -182,7 +182,7 @@ TEST(Controller, ForkShapeInvariant)
 TEST(Controller, TraditionalAccessesFullPaths)
 {
     auto p = smallParams();
-    p.enableMerging = false;
+    p.policy = core::PolicyKind::traditional;
     p.labelQueueSize = 1;
     Harness h(p);
     h.ctrl.setRevealTraceEnabled(true);
@@ -318,7 +318,7 @@ TEST(Controller, MacGetsHitsUnderMerging)
 TEST(Controller, TreetopEliminatesTopLevelDram)
 {
     auto p = smallParams(6);
-    p.enableMerging = false;
+    p.policy = core::PolicyKind::traditional;
     p.labelQueueSize = 1;
     p.cachePolicy = CachePolicy::treetop;
     p.cacheBudgetBytes = 2 << 10; // 8 buckets -> levels 0..2

@@ -55,7 +55,7 @@ TEST_P(ControllerSweep, ContractHolds)
     p.oram.z = sc.z;
     p.oram.payloadBytes = 8;
     p.oram.seed = 1000 + sc.leafLevel * 13 + sc.z;
-    p.enableMerging = sc.merging;
+    p.policy = sc.merging ? core::PolicyKind::forkpath : core::PolicyKind::traditional;
     p.enableDummyReplacing = sc.merging;
     p.labelQueueSize = sc.queueSize;
     p.cachePolicy = sc.cache;

@@ -195,7 +195,7 @@ integrityParams()
     p.oram.leafLevel = 6;
     p.oram.payloadBytes = 8;
     p.oram.seed = 77;
-    p.enableMerging = true;
+    p.policy = core::PolicyKind::forkpath;
     p.labelQueueSize = 8;
     p.enableIntegrity = true;
     return p;

@@ -123,7 +123,7 @@ TEST(PeriodicMode, NonMergingBaselineStreamsToo)
     EventQueue eq;
     dram::DramSystem dram(dram::DramParams::ddr3_1600(2), eq);
     auto p = periodicParams(1'000'000);
-    p.enableMerging = false;
+    p.policy = core::PolicyKind::traditional;
     p.enableDummyReplacing = false;
     p.labelQueueSize = 1;
     core::OramController ctrl(p, eq, dram);

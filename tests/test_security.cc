@@ -61,7 +61,7 @@ forkParams(unsigned leaf_level = 10)
     // Force a full ORAM access per request so the revealed trace has
     // statistical weight even for tiny, stash-resident working sets.
     p.oram.stashShortcut = false;
-    p.enableMerging = true;
+    p.policy = core::PolicyKind::forkpath;
     p.enableDummyReplacing = true;
     p.labelQueueSize = 8;
     return p;
@@ -207,7 +207,7 @@ TEST(Security, MergingPreservesStashOccupancy)
     // occupancy distribution (the retained fork handle blocks would
     // have been written out and immediately read back).
     auto p_base = forkParams(8);
-    p_base.enableMerging = false;
+    p_base.policy = core::PolicyKind::traditional;
     p_base.enableDummyReplacing = false;
     p_base.labelQueueSize = 1;
     Harness base(p_base);
@@ -248,7 +248,7 @@ TEST(Security, TraditionalLabelsSeriallyIndependent)
     // top bits correlate BY DESIGN — that reordering is a public
     // function of an i.i.d. pool, the paper's Section 3.6 argument.)
     auto p = forkParams();
-    p.enableMerging = false;
+    p.policy = core::PolicyKind::traditional;
     p.enableDummyReplacing = false;
     p.labelQueueSize = 1;
     Harness h(p);

@@ -355,6 +355,49 @@ TEST(ShardedSystem, ShardJsonBlockGatedOnShardCount)
     EXPECT_EQ(sdoc.find("shard"), nullptr);
 }
 
+TEST(ShardedResilience, PerShardRetryStatsSumToAggregate)
+{
+    // Sharding (PR-7) composed with the fault/retry stack (PR-5):
+    // four shards on the network store, each behind its own injector
+    // and retry layer, with enough loss that retries genuinely fire.
+    sim::SimConfig cfg = shardedConfig(4);
+    cfg.faults.lossRate = 0.05;
+    cfg.faults.seed = 99;
+    cfg.retry.maxRetries = 8; // timeoutUs = 0: backend-derived deadline
+    sim::System sys(cfg, workload::mixProfiles("Mix3"));
+    sim::RunResult r = sys.run();
+
+    // The run completed: every LLC request was dispatched and no
+    // request ran out of retry budget.
+    EXPECT_FALSE(r.hitTickLimit);
+    EXPECT_EQ(r.llcRequests, 4u * 60u);
+    EXPECT_EQ(r.retryExhausted, 0u);
+    ASSERT_TRUE(r.faultsEnabled);
+    ASSERT_TRUE(r.retryEnabled);
+
+    // The resilience stack lives per shard, not at the system root.
+    EXPECT_EQ(sys.faultInjector(), nullptr);
+    EXPECT_EQ(sys.resilientBackend(), nullptr);
+
+    std::uint64_t retries = 0, timeouts = 0, losses = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        mem::ResilientBackend *res = sys.shardResilient(s);
+        ASSERT_NE(res, nullptr) << "shard " << s;
+        retries += res->retries();
+        timeouts += res->timeouts();
+        mem::FaultInjector *inj = sys.shardInjector(s);
+        ASSERT_NE(inj, nullptr) << "shard " << s;
+        losses += inj->lossInjected();
+    }
+    // Aggregates are exactly the per-shard sums, and the injected
+    // losses actually exercised the retry path.
+    EXPECT_EQ(r.retryAttempts, retries);
+    EXPECT_EQ(r.retryTimeouts, timeouts);
+    EXPECT_EQ(r.faultLossInjected, losses);
+    EXPECT_GT(losses, 0u);
+    EXPECT_GT(retries, 0u);
+}
+
 TEST(ShardedSystem, SweepByteIdenticalAcrossJobs)
 {
     auto points = [] {

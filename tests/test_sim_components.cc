@@ -188,7 +188,7 @@ TEST(SimConfigVariants, TraditionalResetsFeatures)
     auto cfg = SimConfig::paperDefault();
     cfg.controller.oram.leafLevel = 14;
     auto t = withTraditional(cfg);
-    EXPECT_FALSE(t.controller.enableMerging);
+    EXPECT_EQ(t.controller.policy, core::PolicyKind::traditional);
     EXPECT_EQ(t.controller.labelQueueSize, 1u);
     EXPECT_EQ(t.controller.cachePolicy, core::CachePolicy::none);
     // ORAM geometry is preserved.
@@ -199,7 +199,7 @@ TEST(SimConfigVariants, MergeVariants)
 {
     auto cfg = SimConfig::paperDefault();
     auto m = withMergeOnly(cfg, 32);
-    EXPECT_TRUE(m.controller.enableMerging);
+    EXPECT_EQ(m.controller.policy, core::PolicyKind::forkpath);
     EXPECT_EQ(m.controller.labelQueueSize, 32u);
     EXPECT_EQ(m.controller.cachePolicy, core::CachePolicy::none);
 

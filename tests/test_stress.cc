@@ -28,7 +28,7 @@ TEST(Stress, LongRunForkPathWithMacAndIntegrity)
     p.oram.payloadBytes = 8;
     p.oram.seed = 777;
     p.oram.stashCapacity = 200;
-    p.enableMerging = true;
+    p.policy = core::PolicyKind::forkpath;
     p.enableDummyReplacing = true;
     p.labelQueueSize = 32;
     p.cachePolicy = CachePolicy::mac;

@@ -39,6 +39,16 @@ after a fault-injection smoke run:
     tools/validate_trace.py --trace run.trace.json \
         --require-events fault_loss,retry,retry_timeout
 
+Access-pipeline stage events are recognised the same way: the
+"admission" track carries the controller's policy announcement
+("policy") and the batched policy's admission-gate instants
+("batch_hold" when issuable entries are held below a full batch,
+"batch_flush" when a batch drains into the scheduler), e.g. after a
+--policy=batched run:
+
+    tools/validate_trace.py --trace run.trace.json \
+        --require-events policy,batch_hold,batch_flush
+
 Exit status 0 when everything passes; 1 with a message otherwise.
 """
 
@@ -73,6 +83,16 @@ PROFILER_EVENTS = {
     "read_done",
 }
 
+#: Instant events the staged access pipeline emits on the "admission"
+#: track (core/oram_controller.cc, core/admission_stage.cc): the
+#: controller's one-shot policy announcement plus the batched policy's
+#: admission-gate decisions.
+STAGE_EVENTS = {
+    "policy",
+    "batch_hold",
+    "batch_flush",
+}
+
 #: Track (thread_name) base names the simulator emits. Sharded runs
 #: (--shards=N) prefix every per-shard track with "s<shard>." —
 #: "s1.controller", "s3.dram.ch0" — via obs::Tracer views; the prefix
@@ -87,6 +107,7 @@ KNOWN_TRACKS = {
     "queues",
     "requests",
     "resilience",
+    "admission",
 }
 
 #: Matches a shard-qualified or bare track name; group "base" is the
@@ -279,6 +300,11 @@ def main():
             if looks_profiler and name not in PROFILER_EVENTS:
                 ap.error(f"unknown profiler event '{name}' "
                          f"(known: {', '.join(sorted(PROFILER_EVENTS))})")
+            looks_stage = (name == "policy" or
+                           name.startswith("batch_"))
+            if looks_stage and name not in STAGE_EVENTS:
+                ap.error(f"unknown stage event '{name}' "
+                         f"(known: {', '.join(sorted(STAGE_EVENTS))})")
     if args.trace:
         validate_trace(args.trace, require)
     if args.stats:
