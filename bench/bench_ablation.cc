@@ -1,215 +1,13 @@
 /**
  * @file
- * Ablation study of the design choices DESIGN.md calls out, beyond
- * the paper's own figures:
- *
- *  1. technique stack: traditional -> +merging -> +scheduling ->
- *     -replacing -> +MAC;
- *  2. dummy selection policy: compete (paper, intensity-oblivious)
- *     vs realFirst (leaky but wasteless);
- *  3. aging threshold sensitivity;
- *  4. DRAM layout: subtree vs linear.
+ * Legacy wrapper: runs experiments/ablation.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "core/access_policy.hh"
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
-
-namespace
-{
-
-void
-addRow(TextTable &table, const std::string &name,
-       const sim::RunResult &r, double trad_latency)
-{
-    table.addRow(
-        {name, TextTable::fmt(r.avgLlcLatencyNs, 0),
-         TextTable::fmt(r.avgLlcLatencyNs / trad_latency, 3),
-         TextTable::fmt(r.avgReadPathLen, 2),
-         TextTable::fmt(static_cast<double>(r.dummyAccesses) /
-                            static_cast<double>(r.realAccesses),
-                        3),
-         TextTable::fmt(r.totalEnergyNj() / 1e6, 1)});
-}
-
-} // anonymous namespace
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    const std::string mix = args.getString("mix", "Mix3");
-
-    banner("Ablation: Fork Path technique stack and design knobs",
-           "(beyond the paper's figures; see DESIGN.md section 4)");
-
-    auto base = baseConfig(opt);
-
-    // Phase 1: declare every configuration (in emission order) as a
-    // named sweep point; phase 2 runs them all (in parallel under
-    // --jobs) and the tables consume the ordered results.
-    std::vector<sim::SweepPoint> points;
-    std::vector<std::string> names;
-    auto add = [&](const std::string &name, sim::SimConfig cfg) {
-        names.push_back(name);
-        points.push_back(
-            sim::pointFromMix(name, std::move(cfg), mix));
-    };
-
-    add("traditional", sim::withTraditional(base));
-    add("+merging (q=1)", sim::withMergeOnly(base, 1));
-    add("+scheduling (q=64)", sim::withMergeOnly(base, 64));
-    {
-        auto no_replace = sim::withMergeOnly(base, 64);
-        no_replace.controller.enableDummyReplacing = false;
-        add("q=64, no replacing", no_replace);
-    }
-    add("+MAC 1MB", sim::withMergeMac(base, 1 << 20, 64));
-
-    {
-        auto compete = sim::withMergeOnly(base, 64);
-        compete.controller.dummyPolicy =
-            core::DummySelectPolicy::compete;
-        add("compete (paper)", compete);
-        auto real_first = sim::withMergeOnly(base, 64);
-        real_first.controller.dummyPolicy =
-            core::DummySelectPolicy::realFirst;
-        add("realFirst (leaky)", real_first);
-    }
-
-    for (unsigned t : {1u, 4u, 16u, 1u << 20}) {
-        auto cfg = sim::withMergeOnly(base, 64);
-        cfg.controller.agingThreshold = t;
-        add(t >= (1u << 20) ? "T=inf" : "T=" + std::to_string(t),
-            cfg);
-    }
-
-    add("subtree rows", sim::withMergeOnly(base, 64));
-    {
-        auto linear = sim::withMergeOnly(base, 64);
-        linear.controller.layout = dram::LayoutPolicy::linear;
-        add("linear (heap order)", linear);
-    }
-
-    add("flat on-chip posmap", sim::withMergeOnly(base, 64));
-    {
-        auto rec = sim::withMergeOnly(base, 64);
-        rec.controller.recursionDepth = 2;
-        add("2-level recursion", rec);
-        auto plb = rec;
-        plb.controller.plbEntries = 4096;
-        add("2-level + 4K-entry PLB", plb);
-    }
-
-    add("open page (FR-FCFS)", sim::withMergeOnly(base, 64));
-    {
-        auto closed = sim::withMergeOnly(base, 64);
-        closed.dram.pagePolicy = dram::PagePolicy::closed;
-        add("closed page (auto-PRE)", closed);
-    }
-
-    add("demand-driven (paper eval)", sim::withMergeOnly(base, 64));
-    {
-        auto periodic = sim::withMergeOnly(base, 64);
-        // One access slot per ~1.3 us: roughly the merged service
-        // rate, so the stream adds little queueing when busy but
-        // never stops when idle (Section 2.2's sealed channel).
-        periodic.controller.periodicIntervalTicks = 1'300'000;
-        add("periodic 1.3us slots", periodic);
-    }
-
-    add("integrity off", sim::withMergeOnly(base, 64));
-    {
-        auto on = sim::withMergeOnly(base, 64);
-        on.controller.enableIntegrity = true;
-        add("integrity on (hash-only cost)", on);
-    }
-
-    // Every registered scheduling policy under its canonical preset,
-    // selected by name through the same registry path as --policy.
-    const auto policy_names = core::accessPolicyNames();
-    for (const auto &name : policy_names)
-        add("policy: " + name, sim::withPolicyName(base, name));
-
-    auto results = runSweep(opt, std::move(points));
-    const auto &trad = results[0];
-    std::size_t next = 1;
-    auto row = [&](TextTable &table) {
-        addRow(table, names[next], results[next],
-               trad.avgLlcLatencyNs);
-        ++next;
-    };
-
-    TextTable stack("technique stack (" + mix + ")");
-    stack.setHeader({"config", "latency_ns", "norm", "path_len",
-                     "dummy/real", "energy_mJ"});
-    stack.addRow({"traditional",
-                  TextTable::fmt(trad.avgLlcLatencyNs, 0), "1.000",
-                  TextTable::fmt(trad.avgReadPathLen, 2), "0.000",
-                  TextTable::fmt(trad.totalEnergyNj() / 1e6, 1)});
-    for (int i = 0; i < 4; ++i)
-        row(stack);
-    emit(stack);
-
-    TextTable policy("dummy selection policy (q=64, " + mix + ")");
-    policy.setHeader({"config", "latency_ns", "norm", "path_len",
-                      "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 2; ++i)
-        row(policy);
-    emit(policy);
-
-    TextTable aging("aging threshold (q=64, " + mix + ")");
-    aging.setHeader({"config", "latency_ns", "norm", "path_len",
-                     "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 4; ++i)
-        row(aging);
-    emit(aging);
-
-    TextTable layout("DRAM layout (q=64, " + mix + ")");
-    layout.setHeader({"config", "latency_ns", "norm", "path_len",
-                      "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 2; ++i)
-        row(layout);
-    emit(layout);
-
-    TextTable recursion("hierarchical position map (q=64, " + mix +
-                        ")");
-    recursion.setHeader({"config", "latency_ns", "norm", "path_len",
-                         "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 3; ++i)
-        row(recursion);
-    emit(recursion);
-
-    TextTable paging("DRAM page policy (q=64, " + mix + ")");
-    paging.setHeader({"config", "latency_ns", "norm", "path_len",
-                      "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 2; ++i)
-        row(paging);
-    emit(paging);
-
-    TextTable timing("timing-channel protection (q=64, " + mix +
-                     ")");
-    timing.setHeader({"config", "latency_ns", "norm", "path_len",
-                      "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 2; ++i)
-        row(timing);
-    emit(timing);
-
-    TextTable integrity("Merkle integrity (q=64, " + mix + ")");
-    integrity.setHeader({"config", "latency_ns", "norm", "path_len",
-                         "dummy/real", "energy_mJ"});
-    for (int i = 0; i < 2; ++i)
-        row(integrity);
-    emit(integrity);
-
-    TextTable polreg("scheduling policy registry (" + mix + ")");
-    polreg.setHeader({"config", "latency_ns", "norm", "path_len",
-                      "dummy/real", "energy_mJ"});
-    for (std::size_t i = 0; i < policy_names.size(); ++i)
-        row(polreg);
-    emit(polreg);
-    return 0;
+    return fp::bench::specMain("ablation", argc, argv);
 }

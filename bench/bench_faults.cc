@@ -1,123 +1,13 @@
 /**
  * @file
- * Resilience sweep: Fork Path throughput and latency vs. injected
- * request-loss rate, on both the DRAM and the network store, with
- * the retry layer recovering every lost request.
- *
- * Not a paper figure — this probes the robustness stack added on top
- * of the reproduction: each point runs the merge configuration with
- * mem::FaultInjector set to the row's loss rate and
- * mem::ResilientBackend recovering, and reports the injected-fault /
- * retry counters next to the usual timing numbers. The fingerprint
- * column compares the controller's issued request stream against the
- * fault-free run of the same backend (obliviousness under retry: the
- * stream the controller emits should not depend on what the store
- * drops — see docs/ROBUSTNESS.md for when exact equality can be
- * expected).
- *
- * Failed points (e.g. a deliberately exhausted retry budget under
- * --retry-max=0) are reported as rows, not fatal: degrading into a
- * result record is the behaviour under test.
- *
- * Flags: the common set (fig_common.hh), including every --fault-* /
- * --retry-* flag; --fault-loss-rate adds that rate to the sweep's
- * row set.
+ * Legacy wrapper: runs experiments/faults.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include <algorithm>
-
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    if (!args.has("mixes"))
-        opt.mixes = {"Mix3"}; // intensity-heavy, representative
-
-    banner("Resilience: throughput/latency vs request-loss rate",
-           "not in the paper; fault-injection study of the "
-           "retry/timeout/backoff layer (zero lost user requests "
-           "expected at every point)");
-
-    std::vector<double> lossRates = {0.0, 0.001, 0.01, 0.05};
-    if (opt.faults.lossRate > 0.0 &&
-        std::find(lossRates.begin(), lossRates.end(),
-                  opt.faults.lossRate) == lossRates.end()) {
-        lossRates.push_back(opt.faults.lossRate);
-        std::sort(lossRates.begin(), lossRates.end());
-    }
-    const std::vector<sim::BackendKind> kinds = {
-        sim::BackendKind::dram, sim::BackendKind::net};
-
-    auto cfg = sim::withMergeOnly(baseConfig(opt), 64);
-    std::vector<sim::SweepPoint> points;
-    for (sim::BackendKind kind : kinds) {
-        const char *kind_name =
-            kind == sim::BackendKind::dram ? "dram" : "net";
-        for (double loss : lossRates) {
-            auto c = cfg;
-            c.backendKind = kind;
-            c.faults = opt.faults;
-            c.faults.lossRate = loss;
-            c.retry = opt.retry;
-            points.push_back(sim::pointFromMix(
-                std::string(kind_name) + " loss=" +
-                    TextTable::fmt(loss, 3),
-                c, opt.mixes[0]));
-        }
-    }
-
-    // Run through the SweepRunner directly (not runSweep): a failed
-    // point must become a row, because graceful degradation is the
-    // behaviour under test.
-    sim::SweepRunner runner(opt.sweep);
-    auto outcomes = runner.run(std::move(points));
-
-    TextTable table("Resilience sweep (" + opt.mixes[0] + ", L=" +
-                    std::to_string(opt.leafLevel) + ")");
-    table.setHeader({"backend", "loss_rate", "exec_ms",
-                     "latency_ns", "lost", "retries", "timeouts",
-                     "dedup", "exhausted", "fingerprint", "status"});
-
-    std::size_t idx = 0;
-    for (sim::BackendKind kind : kinds) {
-        const char *kind_name =
-            kind == sim::BackendKind::dram ? "dram" : "net";
-        // Row 0 of each backend block is the fault-free reference for
-        // the fingerprint comparison.
-        const sim::SweepOutcome &base = outcomes[idx];
-        for (double loss : lossRates) {
-            const sim::SweepOutcome &out = outcomes[idx++];
-            if (!out.ok) {
-                table.addRow({kind_name, TextTable::fmt(loss, 3),
-                              "-", "-", "-", "-", "-", "-", "-", "-",
-                              "error: " + out.error});
-                continue;
-            }
-            const sim::RunResult &r = out.result;
-            const char *fp_match =
-                !base.ok ? "n/a"
-                : r.reqStreamFingerprint ==
-                        base.result.reqStreamFingerprint
-                    ? "match"
-                    : "differs";
-            table.addRow(
-                {kind_name, TextTable::fmt(loss, 3),
-                 TextTable::fmt(ticksToNs(r.executionTicks) / 1e6, 2),
-                 TextTable::fmt(r.avgLlcLatencyNs, 1),
-                 std::to_string(r.faultLossInjected),
-                 std::to_string(r.retryAttempts),
-                 std::to_string(r.retryTimeouts),
-                 std::to_string(r.retryDedupDropped),
-                 std::to_string(r.retryExhausted), fp_match,
-                 r.failed ? "failed" : "ok"});
-        }
-    }
-    emit(table);
-    return 0;
+    return fp::bench::specMain("faults", argc, argv);
 }

@@ -1,75 +1,13 @@
 /**
  * @file
- * Figure 10: average ORAM tree path length and average DRAM latency
- * per ORAM request, for merging+scheduling vs. traditional Path
- * ORAM, as the label queue size sweeps 1..128.
- *
- * Paper: the baseline length is always 25 (L = 24); with Fork Path
- * the fetched length falls roughly linearly in log2(queue size), and
- * DRAM latency falls even faster because row-buffer miss rates drop
- * with shorter paths.
+ * Legacy wrapper: runs experiments/fig10.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "core/overlap.hh"
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    if (!args.has("mixes"))
-        opt.mixes = {"Mix3"}; // intensity-heavy, representative
-
-    banner("Figure 10: path length and DRAM latency vs label queue "
-           "size",
-           "baseline 25 buckets; merging shrinks path ~linearly in "
-           "log2(queue); DRAM latency drops faster than path length");
-
-    auto cfg = baseConfig(opt);
-    mem::TreeGeometry geo(opt.leafLevel);
-    const std::vector<unsigned> queues = {1, 2, 4, 8,
-                                          16, 32, 64, 128};
-
-    std::vector<sim::SweepPoint> points;
-    points.push_back(sim::pointFromMix(
-        "traditional", sim::withTraditional(cfg), opt.mixes[0]));
-    for (unsigned q : queues) {
-        points.push_back(sim::pointFromMix(
-            "merge q=" + std::to_string(q),
-            sim::withMergeOnly(cfg, q), opt.mixes[0]));
-    }
-    auto results = runSweep(opt, std::move(points));
-    const auto &trad = results[0];
-
-    TextTable table("Fig 10 (" + opt.mixes[0] + ", L=" +
-                    std::to_string(opt.leafLevel) + ")");
-    table.setHeader({"config", "path_len", "analytic",
-                     "dram_latency_norm", "row_hit_rate"});
-    table.addRow({"traditional",
-                  TextTable::fmt(trad.avgReadPathLen, 2),
-                  TextTable::fmt(double(geo.numLevels()), 2),
-                  TextTable::fmt(1.0, 3),
-                  TextTable::fmt(trad.rowHitRate(), 3)});
-
-    for (std::size_t i = 0; i < queues.size(); ++i) {
-        const auto &r = results[1 + i];
-        // Analytic fetched length: L+1 - E[best-of-q overlap] + 1
-        // (the read starts at the retained level).
-        double analytic = geo.numLevels() -
-                          core::expectedBestOverlap(geo, queues[i]);
-        table.addRow(
-            {"merge q=" + std::to_string(queues[i]),
-             TextTable::fmt(r.avgReadPathLen, 2),
-             TextTable::fmt(analytic, 2),
-             TextTable::fmt(r.avgDramServiceNs /
-                                trad.avgDramServiceNs,
-                            3),
-             TextTable::fmt(r.rowHitRate(), 3)});
-    }
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig10", argc, argv);
 }

@@ -1,72 +1,13 @@
 /**
  * @file
- * Figure 11: total number of ORAM requests (real + dummy) normalized
- * to traditional Path ORAM, per Table 2 mix, for label queue sizes
- * {1, 8, 64, 128}.
- *
- * Paper: increases with queue size; moderate for most mixes thanks
- * to dummy request replacing; > 1.25x for Mix2 (low intensity);
- * about +5 % on average even at queue 128.
+ * Legacy wrapper: runs experiments/fig11.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Figure 11: normalized total ORAM request count",
-           "average ~1.05x at queue 64-128; worst mixes (low "
-           "intensity, e.g. Mix2) exceed 1.25x");
-
-    auto cfg = baseConfig(opt);
-    const std::vector<unsigned> queues = {1, 8, 64, 128};
-
-    TextTable table("Fig 11 (total requests / traditional)");
-    std::vector<std::string> header = {"mix"};
-    for (unsigned q : queues)
-        header.push_back("q=" + std::to_string(q));
-    table.setHeader(header);
-
-    // One point per (mix, config): the traditional baseline then the
-    // queue-size variants, grouped by mix.
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(sim::pointFromMix(
-            mix + "/traditional", sim::withTraditional(cfg), mix));
-        for (unsigned q : queues) {
-            points.push_back(sim::pointFromMix(
-                mix + "/q=" + std::to_string(q),
-                sim::withMergeOnly(cfg, q), mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 1 + queues.size();
-
-    std::vector<std::vector<double>> ratios(queues.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        const auto &trad = results[m * stride];
-        double base = static_cast<double>(trad.realAccesses +
-                                          trad.dummyAccesses);
-        std::vector<std::string> row = {opt.mixes[m]};
-        for (std::size_t i = 0; i < queues.size(); ++i) {
-            const auto &r = results[m * stride + 1 + i];
-            double ratio = r.totalAccesses() / base;
-            ratios[i].push_back(ratio);
-            row.push_back(TextTable::fmt(ratio, 3));
-        }
-        table.addRow(row);
-    }
-
-    std::vector<std::string> avg = {"geomean"};
-    for (const auto &series : ratios)
-        avg.push_back(TextTable::fmt(sim::geomean(series), 3));
-    table.addRow(avg);
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig11", argc, argv);
 }

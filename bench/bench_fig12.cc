@@ -1,69 +1,13 @@
 /**
  * @file
- * Figure 12: ORAM latency (completion time of an LLC request inside
- * the ORAM controller, queueing included) normalized to traditional
- * Path ORAM, per mix, for label queue sizes {1, 8, 64, 128}.
- *
- * Paper: latency falls as the queue grows, then worsens from 64 to
- * 128 as extra dummy requests offset the shorter paths; 64 is chosen
- * as the default.
+ * Legacy wrapper: runs experiments/fig12.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Figure 12: normalized ORAM latency vs label queue size",
-           "improves with queue size up to 64, degrades at 128; "
-           "queue 64 is the sweet spot");
-
-    auto cfg = baseConfig(opt);
-    const std::vector<unsigned> queues = {1, 8, 64, 128};
-
-    TextTable table("Fig 12 (ORAM latency / traditional)");
-    std::vector<std::string> header = {"mix", "traditional(ns)"};
-    for (unsigned q : queues)
-        header.push_back("q=" + std::to_string(q));
-    table.setHeader(header);
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(sim::pointFromMix(
-            mix + "/traditional", sim::withTraditional(cfg), mix));
-        for (unsigned q : queues) {
-            points.push_back(sim::pointFromMix(
-                mix + "/q=" + std::to_string(q),
-                sim::withMergeOnly(cfg, q), mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 1 + queues.size();
-
-    std::vector<std::vector<double>> ratios(queues.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        const auto &trad = results[m * stride];
-        std::vector<std::string> row = {
-            opt.mixes[m], TextTable::fmt(trad.avgLlcLatencyNs, 0)};
-        for (std::size_t i = 0; i < queues.size(); ++i) {
-            const auto &r = results[m * stride + 1 + i];
-            double ratio = r.avgLlcLatencyNs / trad.avgLlcLatencyNs;
-            ratios[i].push_back(ratio);
-            row.push_back(TextTable::fmt(ratio, 3));
-        }
-        table.addRow(row);
-    }
-
-    std::vector<std::string> avg = {"geomean", "-"};
-    for (const auto &series : ratios)
-        avg.push_back(TextTable::fmt(sim::geomean(series), 3));
-    table.addRow(avg);
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig12", argc, argv);
 }

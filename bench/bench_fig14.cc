@@ -1,93 +1,13 @@
 /**
  * @file
- * Figure 14: slowdown of full-system execution time relative to the
- * insecure processor (no ORAM), per mix, for: traditional Path ORAM,
- * merge-only, merge + MAC 128K/256K/1M, merge + 1MB treetop.
- *
- * Paper: with 1 MB MAC, execution time falls 58 % vs traditional
- * ORAM and 29 % vs 1 MB treetop.
+ * Legacy wrapper: runs experiments/fig14.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Figure 14: full-system slowdown vs insecure processor",
-           "merge+1M MAC cuts execution time ~58% vs traditional "
-           "ORAM, ~29% vs 1MB treetop");
-
-    auto cfg = baseConfig(opt);
-
-    struct Config
-    {
-        std::string name;
-        sim::SimConfig cfg;
-    };
-    const std::vector<Config> configs = {
-        {"traditional", sim::withTraditional(cfg)},
-        {"merge_only", sim::withMergeOnly(cfg, 64)},
-        {"mac_128K", sim::withMergeMac(cfg, 128 << 10, 64)},
-        {"mac_256K", sim::withMergeMac(cfg, 256 << 10, 64)},
-        {"mac_1M", sim::withMergeMac(cfg, 1 << 20, 64)},
-        {"treetop_1M", sim::withMergeTreetop(cfg, 1 << 20, 64)},
-    };
-
-    TextTable table("Fig 14 (execution time / insecure)");
-    std::vector<std::string> header = {"mix"};
-    for (const auto &c : configs)
-        header.push_back(c.name);
-    table.setHeader(header);
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(sim::pointFromMix(
-            mix + "/insecure", sim::withInsecure(cfg), mix));
-        for (const auto &c : configs) {
-            points.push_back(
-                sim::pointFromMix(mix + "/" + c.name, c.cfg, mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 1 + configs.size();
-
-    std::vector<std::vector<double>> slowdowns(configs.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        const auto &insecure = results[m * stride];
-        auto base = static_cast<double>(insecure.executionTicks);
-        std::vector<std::string> row = {opt.mixes[m]};
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            const auto &r = results[m * stride + 1 + i];
-            double s = static_cast<double>(r.executionTicks) / base;
-            slowdowns[i].push_back(s);
-            row.push_back(TextTable::fmt(s, 2));
-        }
-        table.addRow(row);
-    }
-
-    std::vector<std::string> avg = {"geomean"};
-    std::vector<double> geo(configs.size());
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        geo[i] = sim::geomean(slowdowns[i]);
-        avg.push_back(TextTable::fmt(geo[i], 2));
-    }
-    table.addRow(avg);
-    emit(table);
-
-    TextTable summary("headline reductions in execution time");
-    summary.setHeader({"comparison", "reduction"});
-    summary.addRow(
-        {"mac_1M vs traditional",
-         TextTable::fmt(100.0 * (1.0 - geo[4] / geo[0]), 1) + " %"});
-    summary.addRow(
-        {"mac_1M vs treetop_1M",
-         TextTable::fmt(100.0 * (1.0 - geo[4] / geo[5]), 1) + " %"});
-    emit(summary);
-    return 0;
+    return fp::bench::specMain("fig14", argc, argv);
 }

@@ -1,80 +1,13 @@
 /**
  * @file
- * Figure 15: total energy of the ORAM memory system (external DRAM
- * plus controller structures) normalized to traditional Path ORAM,
- * per mix, for the same configurations as Figure 14.
- *
- * Paper: ~38 % energy reduction for merge + 1 MB MAC vs traditional,
- * ~15 % vs 1 MB treetop; external memory dominates the total.
+ * Legacy wrapper: runs experiments/fig15.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Figure 15: normalized ORAM memory-system energy",
-           "merge+1M MAC saves ~38% vs traditional and ~15% vs 1MB "
-           "treetop");
-
-    auto cfg = baseConfig(opt);
-
-    struct Config
-    {
-        std::string name;
-        sim::SimConfig cfg;
-    };
-    const std::vector<Config> configs = {
-        {"merge_only", sim::withMergeOnly(cfg, 64)},
-        {"mac_128K", sim::withMergeMac(cfg, 128 << 10, 64)},
-        {"mac_256K", sim::withMergeMac(cfg, 256 << 10, 64)},
-        {"mac_1M", sim::withMergeMac(cfg, 1 << 20, 64)},
-        {"treetop_1M", sim::withMergeTreetop(cfg, 1 << 20, 64)},
-    };
-
-    TextTable table("Fig 15 (energy / traditional)");
-    std::vector<std::string> header = {"mix", "trad_mJ"};
-    for (const auto &c : configs)
-        header.push_back(c.name);
-    table.setHeader(header);
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(sim::pointFromMix(
-            mix + "/traditional", sim::withTraditional(cfg), mix));
-        for (const auto &c : configs) {
-            points.push_back(
-                sim::pointFromMix(mix + "/" + c.name, c.cfg, mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 1 + configs.size();
-
-    std::vector<std::vector<double>> ratios(configs.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        const auto &trad = results[m * stride];
-        std::vector<std::string> row = {
-            opt.mixes[m],
-            TextTable::fmt(trad.totalEnergyNj() / 1e6, 2)};
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            const auto &r = results[m * stride + 1 + i];
-            double ratio = r.totalEnergyNj() / trad.totalEnergyNj();
-            ratios[i].push_back(ratio);
-            row.push_back(TextTable::fmt(ratio, 3));
-        }
-        table.addRow(row);
-    }
-
-    std::vector<std::string> avg = {"geomean", "-"};
-    for (const auto &series : ratios)
-        avg.push_back(TextTable::fmt(sim::geomean(series), 3));
-    table.addRow(avg);
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig15", argc, argv);
 }

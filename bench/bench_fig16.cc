@@ -1,130 +1,13 @@
 /**
  * @file
- * Figure 16: in-order vs out-of-order cores. Normalized ORAM latency
- * (each against its own traditional baseline) for merge-only and
- * merge + MAC variants, geomean over the mixes.
- *
- * Paper: in-order latency is significantly higher because the low
- * memory intensity forces extra dummy requests at queue 64; a
- * smaller queue would suit in-order cores better (also shown here).
+ * Legacy wrapper: runs experiments/fig16.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
-
-namespace
-{
-
-std::vector<double>
-seriesFor(const BenchOptions &opt, sim::SimConfig cfg,
-          unsigned outstanding)
-{
-    cfg.maxOutstanding = outstanding;
-
-    std::vector<sim::SimConfig> variants = {
-        sim::withMergeOnly(cfg, 64),
-        sim::withMergeMac(cfg, 128 << 10, 64),
-        sim::withMergeMac(cfg, 1 << 20, 64),
-        sim::withMergeTreetop(cfg, 1 << 20, 64),
-    };
-    for (auto &v : variants)
-        v.maxOutstanding = outstanding;
-    auto trad_cfg = sim::withTraditional(cfg);
-    trad_cfg.maxOutstanding = outstanding;
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(
-            sim::pointFromMix(mix + "/traditional", trad_cfg, mix));
-        for (std::size_t i = 0; i < variants.size(); ++i) {
-            points.push_back(sim::pointFromMix(
-                mix + "/variant" + std::to_string(i), variants[i],
-                mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 1 + variants.size();
-
-    std::vector<std::vector<double>> ratios(variants.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        const auto &trad = results[m * stride];
-        for (std::size_t i = 0; i < variants.size(); ++i) {
-            const auto &r = results[m * stride + 1 + i];
-            ratios[i].push_back(r.avgLlcLatencyNs /
-                                trad.avgLlcLatencyNs);
-        }
-    }
-    std::vector<double> out;
-    for (const auto &series : ratios)
-        out.push_back(sim::geomean(series));
-    return out;
-}
-
-} // anonymous namespace
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    if (!args.has("mixes"))
-        opt.mixes = {"Mix1", "Mix3", "Mix4", "Mix9"};
-
-    banner("Figure 16: in-order vs out-of-order",
-           "in-order ORAM latency is significantly higher (more "
-           "dummy requests); smaller queues suit in-order");
-
-    auto cfg = baseConfig(opt);
-
-    TextTable table("Fig 16 (latency / own traditional, geomean)");
-    table.setHeader({"core", "merge_only", "mac_128K", "mac_1M",
-                     "treetop_1M"});
-    auto emitRow = [&](const std::string &name,
-                       const std::vector<double> &v) {
-        std::vector<std::string> row = {name};
-        for (double x : v)
-            row.push_back(TextTable::fmt(x, 3));
-        table.addRow(row);
-    };
-    emitRow("out-of-order", seriesFor(opt, cfg, 16));
-    emitRow("in-order", seriesFor(opt, cfg, 1));
-    emit(table);
-
-    // The paper's remark: a smaller queue helps in-order cores.
-    TextTable q("in-order merge-only latency vs queue size");
-    q.setHeader({"queue", "latency/traditional"});
-    auto in_cfg = cfg;
-    in_cfg.maxOutstanding = 1;
-    const std::vector<unsigned> queue_sizes = {4, 16, 64};
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        points.push_back(sim::pointFromMix(
-            mix + "/in-order traditional",
-            sim::withTraditional(in_cfg), mix));
-    }
-    for (unsigned qs : queue_sizes) {
-        for (const auto &mix : opt.mixes) {
-            points.push_back(sim::pointFromMix(
-                mix + "/in-order q=" + std::to_string(qs),
-                sim::withMergeOnly(in_cfg, qs), mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t nmixes = opt.mixes.size();
-
-    for (std::size_t qi = 0; qi < queue_sizes.size(); ++qi) {
-        std::vector<double> ratios;
-        for (std::size_t i = 0; i < nmixes; ++i) {
-            const auto &r = results[nmixes * (1 + qi) + i];
-            ratios.push_back(r.avgLlcLatencyNs /
-                             results[i].avgLlcLatencyNs);
-        }
-        q.addRow({std::to_string(queue_sizes[qi]),
-                  TextTable::fmt(sim::geomean(ratios), 3)});
-    }
-    emit(q);
-    return 0;
+    return fp::bench::specMain("fig16", argc, argv);
 }

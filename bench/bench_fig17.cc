@@ -1,118 +1,13 @@
 /**
  * @file
- * Figure 17: sensitivity to (a) thread count 1/2/4/8 and (b) ORAM
- * capacity 1/4/16/32 GB, reporting Fork Path ORAM latency normalized
- * to traditional (geomean over generated mixes).
- *
- * Paper: (a) more threads -> more memory intensity -> bigger Fork
- * Path advantage; (b) bigger trees dilute the fixed path-length
- * reduction, so the advantage degrades moderately.
+ * Legacy wrapper: runs experiments/fig17.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
-
-namespace
-{
-
-/** Append a fork/traditional point pair for one generated mix. */
-void
-addPair(std::vector<sim::SweepPoint> &points, const std::string &name,
-        const sim::SimConfig &cfg,
-        const std::vector<workload::WorkloadProfile> &mix)
-{
-    points.push_back(sim::pointFromProfiles(
-        name + "/fork", sim::withMergeMac(cfg, 1 << 20, 64), mix));
-    points.push_back(sim::pointFromProfiles(
-        name + "/traditional", sim::withTraditional(cfg), mix));
-}
-
-/** Geomean of fork/traditional latency over consecutive pairs. */
-double
-pairGeomean(const std::vector<sim::RunResult> &results,
-            std::size_t first_pair, std::size_t npairs)
-{
-    std::vector<double> ratios;
-    for (std::size_t s = 0; s < npairs; ++s) {
-        const auto &fork = results[2 * (first_pair + s)];
-        const auto &trad = results[2 * (first_pair + s) + 1];
-        ratios.push_back(fork.avgLlcLatencyNs /
-                         trad.avgLlcLatencyNs);
-    }
-    return sim::geomean(ratios);
-}
-
-} // anonymous namespace
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    const unsigned mixes_per_point =
-        static_cast<unsigned>(args.getInt("samples", 3));
-
-    banner("Figure 17: thread count and ORAM size sensitivity",
-           "(a) advantage grows with threads; (b) degrades "
-           "moderately with ORAM size");
-
-    auto base = baseConfig(opt);
-    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
-    const std::vector<std::pair<std::string, unsigned>> sizes = {
-        {"1GB", 22}, {"4GB", 24}, {"16GB", 26}, {"32GB", 27}};
-
-    // Both sub-figures in one sweep: (a)'s pairs first, then (b)'s.
-    std::vector<sim::SweepPoint> points;
-    for (unsigned cores : thread_counts) {
-        for (unsigned s = 0; s < mixes_per_point; ++s) {
-            auto mix = workload::makeMixForCores(cores, 40 + s);
-            auto cfg = base;
-            cfg.cores = cores;
-            addPair(points,
-                    "threads=" + std::to_string(cores) + "/s" +
-                        std::to_string(s),
-                    cfg, mix);
-        }
-    }
-    for (const auto &[name, leaf] : sizes) {
-        for (unsigned s = 0; s < mixes_per_point; ++s) {
-            auto mix = workload::makeMixForCores(4, 80 + s);
-            auto cfg = base;
-            cfg.cores = 4;
-            cfg.controller.oram.leafLevel = leaf;
-            addPair(points, name + "/s" + std::to_string(s), cfg,
-                    mix);
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-
-    TextTable a("Fig 17(a): latency/traditional vs threads "
-                "(merge+1M MAC)");
-    a.setHeader({"threads", "latency_norm"});
-    for (std::size_t c = 0; c < thread_counts.size(); ++c) {
-        a.addRow({std::to_string(thread_counts[c]),
-                  TextTable::fmt(pairGeomean(results,
-                                             c * mixes_per_point,
-                                             mixes_per_point),
-                                 3)});
-    }
-    emit(a);
-
-    TextTable b("Fig 17(b): latency/traditional vs ORAM size "
-                "(4 threads, merge+1M MAC)");
-    b.setHeader({"oram_size", "leaf_level", "latency_norm"});
-    const std::size_t b_first =
-        thread_counts.size() * mixes_per_point;
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
-        b.addRow({sizes[i].first, std::to_string(sizes[i].second),
-                  TextTable::fmt(
-                      pairGeomean(results,
-                                  b_first + i * mixes_per_point,
-                                  mixes_per_point),
-                      3)});
-    }
-    emit(b);
-    return 0;
+    return fp::bench::specMain("fig17", argc, argv);
 }

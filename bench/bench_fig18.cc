@@ -1,75 +1,13 @@
 /**
  * @file
- * Figure 18: speedup of ORAM latency (traditional / Fork Path) at
- * 1, 2 and 4 DRAM channels, per mix.
- *
- * Paper: Fork Path is more effective with fewer channels — the
- * absolute ORAM latency is higher there, so more real requests pile
- * up in the label queue and scheduling has more to work with.
+ * Legacy wrapper: runs experiments/fig18.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    if (!args.has("mixes"))
-        opt.mixes = {"Mix1", "Mix3", "Mix4", "Mix7", "Mix9"};
-
-    banner("Figure 18: ORAM latency speedup vs DRAM channels",
-           "speedup is largest at 1 channel and shrinks as channels "
-           "are added");
-
-    auto base = baseConfig(opt);
-    const std::vector<unsigned> channels = {1, 2, 4};
-
-    TextTable table("Fig 18 (traditional latency / fork latency)");
-    std::vector<std::string> header = {"mix"};
-    for (unsigned ch : channels)
-        header.push_back(std::to_string(ch) + "-channel");
-    table.setHeader(header);
-
-    std::vector<sim::SweepPoint> points;
-    for (const auto &mix : opt.mixes) {
-        for (unsigned ch : channels) {
-            auto cfg = base;
-            cfg.dram = dram::DramParams::ddr3_1600(ch);
-            std::string tag =
-                mix + "/" + std::to_string(ch) + "ch";
-            points.push_back(sim::pointFromMix(
-                tag + "/traditional", sim::withTraditional(cfg),
-                mix));
-            points.push_back(sim::pointFromMix(
-                tag + "/fork", sim::withMergeMac(cfg, 1 << 20, 64),
-                mix));
-        }
-    }
-    auto results = runSweep(opt, std::move(points));
-    const std::size_t stride = 2 * channels.size();
-
-    std::vector<std::vector<double>> speedups(channels.size());
-    for (std::size_t m = 0; m < opt.mixes.size(); ++m) {
-        std::vector<std::string> row = {opt.mixes[m]};
-        for (std::size_t i = 0; i < channels.size(); ++i) {
-            const auto &trad = results[m * stride + 2 * i];
-            const auto &fork = results[m * stride + 2 * i + 1];
-            double speedup =
-                trad.avgLlcLatencyNs / fork.avgLlcLatencyNs;
-            speedups[i].push_back(speedup);
-            row.push_back(TextTable::fmt(speedup, 2));
-        }
-        table.addRow(row);
-    }
-
-    std::vector<std::string> avg = {"geomean"};
-    for (const auto &series : speedups)
-        avg.push_back(TextTable::fmt(sim::geomean(series), 2));
-    table.addRow(avg);
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig18", argc, argv);
 }

@@ -1,64 +1,13 @@
 /**
  * @file
- * Figure 19: ORAM latency of 4-thread PARSEC-like multi-threaded
- * workloads (one thread per core, shared address space), for
- * merge + 1 MB MAC normalized to traditional Path ORAM.
- *
- * Paper: significant reductions across PARSEC; the size of the win
- * tracks each workload's memory intensity (fewer extra dummies when
- * the label queue stays populated).
+ * Legacy wrapper: runs experiments/fig19.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-#include "workload/parsec_profiles.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Figure 19: PARSEC-like multithreaded workloads "
-           "(4 threads)",
-           "latency reduced significantly across workloads; win "
-           "scales with memory intensity");
-
-    auto cfg = baseConfig(opt);
-    cfg.cores = 4;
-
-    TextTable table("Fig 19 (ORAM latency / traditional)");
-    table.setHeader(
-        {"workload", "traditional(ns)", "merge+1M_MAC", "dummy_frac"});
-
-    const auto names = workload::parsecNames();
-    std::vector<sim::SweepPoint> points;
-    for (const auto &name : names) {
-        points.push_back(sim::pointFromParsec(
-            name + "/traditional", sim::withTraditional(cfg), name));
-        points.push_back(sim::pointFromParsec(
-            name + "/fork", sim::withMergeMac(cfg, 1 << 20, 64),
-            name));
-    }
-    auto results = runSweep(opt, std::move(points));
-
-    std::vector<double> ratios;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const auto &trad = results[2 * i];
-        const auto &fork = results[2 * i + 1];
-        double ratio = fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
-        ratios.push_back(ratio);
-        table.addRow(
-            {names[i], TextTable::fmt(trad.avgLlcLatencyNs, 0),
-             TextTable::fmt(ratio, 3),
-             TextTable::fmt(static_cast<double>(fork.dummyAccesses) /
-                                fork.totalAccesses(),
-                            3)});
-    }
-    table.addRow({"geomean", "-",
-                  TextTable::fmt(sim::geomean(ratios), 3), "-"});
-    emit(table);
-    return 0;
+    return fp::bench::specMain("fig19", argc, argv);
 }

@@ -1,83 +1,13 @@
 /**
  * @file
- * Analytic companion to Figure 10: expected best-of-queue path
- * overlap, closed form vs Monte-Carlo, across queue sizes and tree
- * depths. Validates the log2(queue) trend in the fetched path length
- * independently of the timing model.
- *
- * Each tree depth is one SweepRunner task (--jobs); a task owns its
- * Rng(1234 + leaf) stream, so results — and the stdout emitted in
- * depth order afterwards — are byte-identical at any job count.
+ * Legacy wrapper: runs experiments/overlap.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "core/overlap.hh"
-#include "fig_common.hh"
-#include "util/logging.hh"
-#include "util/random.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    const auto trials =
-        static_cast<unsigned>(args.getInt("trials", 40000));
-    BenchOptions opt = parseOptions(args);
-
-    banner("Overlap analysis (supports Figure 10)",
-           "expected fetched path ~= L+1 - E[best-of-Q overlap], "
-           "E grows ~1 level per queue doubling");
-
-    const std::vector<unsigned> leaves{16u, 24u};
-    std::vector<TextTable> tables;
-    std::vector<sim::SweepTask> tasks;
-    tables.reserve(leaves.size());
-    for (unsigned leaf : leaves) {
-        mem::TreeGeometry geo(leaf);
-        tables.emplace_back("L = " + std::to_string(leaf) +
-                            " (path length " +
-                            std::to_string(geo.numLevels()) + ")");
-        TextTable &table = tables.back();
-        tasks.push_back({"L=" + std::to_string(leaf),
-                         [&table, leaf, trials] {
-            mem::TreeGeometry geo(leaf);
-            Rng rng(1234 + leaf);
-            table.setHeader({"queue", "E[overlap] analytic",
-                             "E[overlap] monte-carlo",
-                             "expected fetched path"});
-            for (unsigned q : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-                double analytic = core::expectedBestOverlap(geo, q);
-                double sum = 0.0;
-                for (unsigned t = 0; t < trials; ++t) {
-                    LeafLabel cur = rng.uniformInt(geo.numLeaves());
-                    unsigned best = 0;
-                    for (unsigned i = 0; i < q; ++i) {
-                        best = std::max(
-                            best,
-                            geo.overlap(
-                                cur,
-                                rng.uniformInt(geo.numLeaves())));
-                    }
-                    sum += best;
-                }
-                table.addRow({std::to_string(q),
-                              TextTable::fmt(analytic, 3),
-                              TextTable::fmt(sum / trials, 3),
-                              TextTable::fmt(
-                                  geo.numLevels() - analytic, 2)});
-            }
-        }});
-    }
-
-    sim::SweepRunner runner(opt.sweep);
-    for (const auto &out : runner.runTasks(std::move(tasks))) {
-        if (!out.ok)
-            fp_fatal("overlap task '%s' failed: %s", out.name.c_str(),
-                     out.error.c_str());
-    }
-    for (const auto &table : tables)
-        emit(table);
-    return 0;
+    return fp::bench::specMain("overlap", argc, argv);
 }

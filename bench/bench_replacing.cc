@@ -1,136 +1,13 @@
 /**
  * @file
- * The dummy-label-replacing window (paper Section 3.3 / Figure 5):
- * a dummy committed as the merge target of the in-flight refill can
- * be replaced by a real request that arrives before the crossing
- * bucket is issued (Case 3); afterwards it cannot (Cases 1-2).
- *
- * This bench sweeps the arrival offset of a lone real request
- * relative to the previous access and reports, per offset band, the
- * fraction of arrivals that replaced the committed dummy and the
- * request's latency — making the paper's t1-t2 window directly
- * visible.
- *
- * Each offset band is one SweepRunner task (--jobs); every trial
- * seeds its own Rng(t * 31 + offset_ns), so rows — emitted in offset
- * order afterwards — are byte-identical at any job count. Honours
- * --backend=net to probe the window against the network store model.
+ * Legacy wrapper: runs experiments/replacing.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include <memory>
-
-#include "dram/dram_backend.hh"
-#include "dram/dram_system.hh"
-#include "fig_common.hh"
-#include "mem/net_backend.hh"
-#include "util/logging.hh"
-#include "util/random.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    const auto trials =
-        static_cast<unsigned>(args.getInt("trials", 200));
-    const auto leaf =
-        static_cast<unsigned>(args.getInt("leaf-level", 16));
-    BenchOptions opt = parseOptions(args);
-
-    banner("Dummy label replacing window (Section 3.3)",
-           "a real request arriving before the refill passes the "
-           "crossing bucket replaces the committed dummy (Case 3); "
-           "later arrivals cannot (Cases 1-2)");
-
-    // The registry's forkpath preset (merging + replacing), shrunk to
-    // a probe-sized queue with no on-chip cache so every replacement
-    // window is exercised against DRAM.
-    core::ControllerParams params = core::ControllerParams::forkPath();
-    params.oram.leafLevel = leaf;
-    params.oram.payloadBytes = 0;
-    params.oram.seed = 60221023;
-    params.labelQueueSize = 8;
-    params.cachePolicy = core::CachePolicy::none;
-
-    TextTable table("replacement probability vs arrival offset");
-    table.setHeader({"offset_after_prev_done_ns", "replaced_frac",
-                     "avg_latency_ns"});
-
-    // Offset is measured from the completion of the priming access's
-    // *read* phase: its write phase (the replacement window) follows.
-    const std::vector<Tick> offsets{0u,   100u,  200u,  400u,
-                                    800u, 1600u, 3200u, 6400u};
-    std::vector<std::vector<std::string>> rows(offsets.size());
-
-    std::vector<sim::SweepTask> tasks;
-    for (std::size_t band = 0; band < offsets.size(); ++band) {
-        const Tick offset_ns = offsets[band];
-        tasks.push_back({"offset=" + std::to_string(offset_ns) + "ns",
-                         [&, band, offset_ns] {
-            unsigned replaced = 0;
-            double latency_sum = 0.0;
-            for (unsigned t = 0; t < trials; ++t) {
-                EventQueue eq;
-                std::unique_ptr<dram::DramSystem> dram_sys;
-                std::unique_ptr<mem::MemoryBackend> backend;
-                if (opt.backendKind == sim::BackendKind::dram) {
-                    dram_sys = std::make_unique<dram::DramSystem>(
-                        sim::SimConfig::defaultDram(), eq);
-                    backend = std::make_unique<dram::DramBackend>(
-                        *dram_sys);
-                } else {
-                    backend = std::make_unique<mem::NetBackend>(
-                        opt.net, eq);
-                }
-                auto p = params;
-                p.oram.seed += t * 7919;
-                core::OramController ctrl(p, eq, *backend);
-                Rng rng(t * 31 + offset_ns);
-
-                // Prime: one access whose refill commits a dummy.
-                bool primed = false;
-                ctrl.request(oram::Op::read, rng.uniformInt(1 << 12),
-                             {},
-                             [&](Tick, const auto &) {
-                                 primed = true;
-                             });
-                eq.runWhile([&] { return !primed; });
-
-                // Inject the probe at the offset.
-                std::uint64_t before = ctrl.dummyReplacements();
-                bool done = false;
-                Tick t0 = 0, t1 = 0;
-                eq.scheduleIn(offset_ns * 1000, [&] {
-                    t0 = eq.now();
-                    ctrl.request(oram::Op::read,
-                                 4096 + rng.uniformInt(1 << 12), {},
-                                 [&](Tick tt, const auto &) {
-                                     t1 = tt;
-                                     done = true;
-                                 });
-                });
-                eq.runWhile([&] { return !done; });
-                replaced += ctrl.dummyReplacements() > before;
-                latency_sum += ticksToNs(t1 - t0);
-            }
-            rows[band] = {
-                TextTable::fmt(std::uint64_t{offset_ns}),
-                TextTable::fmt(
-                    static_cast<double>(replaced) / trials, 3),
-                TextTable::fmt(latency_sum / trials, 0)};
-        }});
-    }
-
-    sim::SweepRunner runner(opt.sweep);
-    for (const auto &out : runner.runTasks(std::move(tasks))) {
-        if (!out.ok)
-            fp_fatal("offset band '%s' failed: %s", out.name.c_str(),
-                     out.error.c_str());
-    }
-    for (const auto &row : rows)
-        table.addRow(row);
-    emit(table);
-    return 0;
+    return fp::bench::specMain("replacing", argc, argv);
 }

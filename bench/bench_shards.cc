@@ -1,109 +1,13 @@
 /**
  * @file
- * Shard-scaling sweep: throughput versus shard count for the sharded
- * ORAM front-end (core::ShardedOram), on both memory backends.
- *
- * A single controller serializes every access behind one backend
- * pipe; sharding gives each partition its own tree and its own pipe,
- * so aggregate throughput should rise with the shard count until the
- * cores (not the memory) are the bottleneck. The effect is starkest
- * on the network backend, where a round trip costs tens of
- * microseconds and the per-shard pipes are genuinely independent;
- * per-shard DRAM channels help less at smoke scale because DDR3 is
- * already fast relative to the request rate.
- *
- * Points: backend in {dram, net} x shards in {1, 2, 4, 8}, Mix3,
- * Fork Path merging at queue depth 64. Throughput is LLC requests per
- * millisecond of simulated time (execution_ticks are picoseconds).
- *
- * Flags: --quick, --jobs=N, --csv, plus the common backend flags
- * (--net-latency-us etc. shape the net points).
+ * Legacy wrapper: runs experiments/shards.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include <iostream>
-
-#include "fig_common.hh"
-
-using namespace fp;
-using namespace fp::bench;
-
-namespace
-{
-
-/** LLC requests per millisecond of simulated time. */
-double
-throughputPerMs(const sim::RunResult &r)
-{
-    if (r.executionTicks == 0)
-        return 0.0;
-    // 1 tick = 1 ps; 1e9 ticks = 1 ms.
-    return static_cast<double>(r.llcRequests) /
-           (static_cast<double>(r.executionTicks) / 1e9);
-}
-
-} // anonymous namespace
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Shard scaling (throughput vs shard count)",
-           "n/a — sharded front-end analysis, not a paper figure");
-
-    const std::string mix = "Mix3";
-    const unsigned shard_counts[] = {1, 2, 4, 8};
-    const struct
-    {
-        const char *name;
-        sim::BackendKind kind;
-    } backends[] = {{"dram", sim::BackendKind::dram},
-                    {"net", sim::BackendKind::net}};
-
-    std::vector<sim::SweepPoint> points;
-    std::vector<std::string> names;
-    for (const auto &be : backends) {
-        for (unsigned shards : shard_counts) {
-            sim::SimConfig cfg =
-                sim::withMergeOnly(baseConfig(opt), 64);
-            cfg.backendKind = be.kind;
-            cfg.shards = shards;
-            std::string name = std::string(be.name) + "_s" +
-                               std::to_string(shards);
-            names.push_back(name);
-            points.push_back(
-                sim::pointFromMix(std::move(name), cfg, mix));
-        }
-    }
-
-    auto results = runSweep(opt, std::move(points));
-
-    TextTable table("throughput vs shards (" + mix +
-                    ", merge q64, requests=" +
-                    std::to_string(opt.requests) + ", leaf=" +
-                    std::to_string(opt.leafLevel) + ")");
-    table.setHeader({"point", "shards", "exec_ticks", "llc_ns",
-                     "req_per_ms", "speedup_vs_s1"});
-    std::size_t i = 0;
-    for (const auto &be : backends) {
-        (void)be;
-        double base_tput = 0.0;
-        for (unsigned shards : shard_counts) {
-            const auto &r = results[i];
-            const double tput = throughputPerMs(r);
-            if (shards == 1)
-                base_tput = tput;
-            table.addRow(
-                {names[i], TextTable::fmt(std::uint64_t{shards}),
-                 TextTable::fmt(std::uint64_t{r.executionTicks}),
-                 TextTable::fmt(r.avgLlcLatencyNs, 1),
-                 TextTable::fmt(tput, 2),
-                 TextTable::fmt(
-                     base_tput > 0.0 ? tput / base_tput : 0.0, 2)});
-            ++i;
-        }
-    }
-    emit(table);
-    return 0;
+    return fp::bench::specMain("shards", argc, argv);
 }

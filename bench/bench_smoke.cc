@@ -1,139 +1,13 @@
 /**
  * @file
- * The CI smoke benchmark: five pinned configuration points small
- * enough to finish in seconds, run with per-request profiling on, and
- * dumped as machine-readable JSON for the bench-baseline regression
- * gate (tools/bench_baseline.py compares the output against
- * tools/baselines/BENCH_smoke.baseline.json).
- *
- * The points are deliberately frozen — traditional Path ORAM, Fork
- * Path merging at two queue depths, merging + MAC, and a sharded
- * merging point (4 shards on the network store), all on Mix3 at
- * requests=150 / leaf-level=14 — so the baseline file stays
- * meaningful across commits. Runs are deterministic at any --jobs
- * (SweepRunner contract), so the JSON is byte-stable on one machine
- * and value-stable everywhere.
- *
- * Flags: --out=PATH (default BENCH_smoke.json), --jobs=N, plus the
- * common observability/backend flags (profiling is forced on).
+ * Legacy wrapper: runs experiments/smoke.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include <fstream>
-#include <iostream>
-
-#include "fig_common.hh"
-#include "util/json.hh"
-#include "util/logging.hh"
-
-using namespace fp;
-using namespace fp::bench;
-
-namespace
-{
-
-/** Per-stage p50 of one profiled stage, for the progress table. */
-double
-stageP50(const sim::RunResult &r, const std::string &stage)
-{
-    for (const auto &s : r.profileStages) {
-        if (s.stage == stage)
-            return s.p50Ns;
-    }
-    return 0.0;
-}
-
-} // anonymous namespace
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-    // Smoke scale, pinned: the baseline file encodes these numbers.
-    opt.requests = static_cast<std::uint64_t>(
-        args.getInt("requests", 150));
-    opt.leafLevel =
-        static_cast<unsigned>(args.getInt("leaf-level", 14));
-    const std::string out_path =
-        args.getString("out", "BENCH_smoke.json");
-
-    banner("CI smoke sweep (bench-baseline gate)",
-           "n/a — regression gate, not a paper figure");
-
-    sim::SimConfig base = baseConfig(opt);
-    // Profiling always on: the baseline tracks effectiveness counters
-    // and stage percentiles alongside the headline metrics.
-    base.obs.profileRequests = true;
-
-    // With --policy=NAME the registry preset is forced onto every
-    // point AFTER its series transform (so e.g. --policy=batched runs
-    // the whole smoke matrix batched); without the flag pol() is the
-    // identity and the baseline-gated output stays byte-identical.
-    auto pol = [&](sim::SimConfig cfg) {
-        return applyPolicy(opt, std::move(cfg));
-    };
-
-    const std::string mix = "Mix3";
-    std::vector<sim::SweepPoint> points;
-    points.push_back(sim::pointFromMix(
-        "traditional", pol(sim::withTraditional(base)), mix));
-    points.push_back(sim::pointFromMix(
-        "merge_q16", pol(sim::withMergeOnly(base, 16)), mix));
-    points.push_back(sim::pointFromMix(
-        "merge_q64", pol(sim::withMergeOnly(base, 64)), mix));
-    points.push_back(sim::pointFromMix(
-        "merge_mac_q64",
-        pol(sim::withMergeMac(base, 128 * 1024, 64)), mix));
-    {
-        // Sharded front-end on the network store: four independent
-        // shards, each with its own pipe (the config where sharding
-        // actually moves throughput, and the one CI should gate).
-        sim::SimConfig sharded = pol(sim::withMergeOnly(base, 64));
-        sharded.backendKind = sim::BackendKind::net;
-        sharded.shards = 4;
-        points.push_back(
-            sim::pointFromMix("shards4_net_q64", sharded, mix));
-    }
-
-    std::vector<std::string> names;
-    for (const auto &p : points)
-        names.push_back(p.name);
-
-    auto results = runSweep(opt, std::move(points));
-
-    TextTable table("smoke points (" + mix + ", requests=" +
-                    std::to_string(opt.requests) + ", leaf=" +
-                    std::to_string(opt.leafLevel) + ")");
-    table.setHeader({"point", "exec_ticks", "llc_ns", "path_len",
-                     "buckets_saved", "total_p50_ns"});
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        table.addRow(
-            {names[i], TextTable::fmt(std::uint64_t{r.executionTicks}),
-             TextTable::fmt(r.avgLlcLatencyNs, 1),
-             TextTable::fmt(r.avgReadPathLen, 2),
-             TextTable::fmt(r.profileEffectiveness.bucketsSaved()),
-             TextTable::fmt(stageP50(r, "total"), 1)});
-    }
-    emit(table);
-
-    // JsonWriter has no raw-embed, so the document is spliced by hand
-    // from toJson() fragments (each already a complete JSON object).
-    std::string doc = "{\"schema\":\"forkpath-bench-smoke-v1\","
-                      "\"points\":[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        if (i)
-            doc += ',';
-        doc += "{\"name\":\"" + JsonWriter::escape(names[i]) +
-               "\",\"result\":" + sim::toJson(results[i]) + "}";
-    }
-    doc += "]}";
-
-    std::ofstream out(out_path);
-    if (!out)
-        fp_fatal("cannot open --out file '%s'", out_path.c_str());
-    out << doc << '\n';
-    if (!opt.csv)
-        std::cout << "wrote " << out_path << "\n";
-    return 0;
+    return fp::bench::specMain("smoke", argc, argv);
 }

@@ -1,71 +1,13 @@
 /**
  * @file
- * Table 2: the multi-programmed workload mixes, with the synthetic
- * profile parameters standing in for each SPEC benchmark. Fast,
- * no simulation — documentation of the reproduction's workload
- * substitution.
- *
- * The two tables build as independent SweepRunner tasks (--jobs);
- * they are emitted in order afterwards, so stdout is byte-identical
- * at any job count.
+ * Legacy wrapper: runs experiments/table2.json through the spec runtime.
+ * Flags and stdout are unchanged from the pre-spec binary.
  */
 
-#include "fig_common.hh"
-#include "util/logging.hh"
-#include "workload/spec_profiles.hh"
-
-using namespace fp;
-using namespace fp::bench;
+#include "scenarios/scenarios.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv);
-    BenchOptions opt = parseOptions(args);
-
-    banner("Table 2: mixed benchmarks from SPEC 2006",
-           "Mix1-2 from the low-overhead group, Mix3-4 high, Mix5-8 "
-           "duplicated programs, Mix9-10 mixed groups");
-
-    TextTable mixes("mix composition (paper Table 2)");
-    TextTable profiles("synthetic profiles standing in for SPEC");
-
-    std::vector<sim::SweepTask> tasks;
-    tasks.push_back({"mix composition", [&mixes] {
-        mixes.setHeader({"mix", "core0", "core1", "core2", "core3"});
-        for (const auto &mix : workload::mixNames()) {
-            auto members = workload::mixMembers(mix);
-            mixes.addRow({mix, members[0], members[1], members[2],
-                          members[3]});
-        }
-    }});
-    tasks.push_back({"synthetic profiles", [&profiles] {
-        profiles.setHeader({"benchmark", "group", "miss_interval_cyc",
-                            "working_set_MB", "zipf", "seq_frac",
-                            "write_frac"});
-        for (const auto &name : workload::specNames()) {
-            const auto &p = workload::specProfile(name);
-            profiles.addRow(
-                {name, p.highOverheadGroup ? "HG" : "LG",
-                 TextTable::fmt(p.missIntervalCycles, 0),
-                 TextTable::fmt(
-                     static_cast<double>(p.workingSetBlocks) * 64.0 /
-                         (1024 * 1024),
-                     1),
-                 TextTable::fmt(p.zipfAlpha, 2),
-                 TextTable::fmt(p.seqFraction, 2),
-                 TextTable::fmt(p.writeFraction, 2)});
-        }
-    }});
-
-    sim::SweepRunner runner(opt.sweep);
-    for (const auto &out : runner.runTasks(std::move(tasks))) {
-        if (!out.ok)
-            fp_fatal("table task '%s' failed: %s", out.name.c_str(),
-                     out.error.c_str());
-    }
-
-    emit(mixes);
-    emit(profiles);
-    return 0;
+    return fp::bench::specMain("table2", argc, argv);
 }

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * The declarative experiment driver: run any committed spec under
+ * experiments/ (by name) or an arbitrary spec file (by path).
+ *
+ *   fp_bench experiments/fig10.json --quick --jobs=8
+ *   fp_bench fig10 --quick
+ *   fp_bench --list-experiments
+ */
+
+#include "scenarios/scenarios.hh"
+
+int
+main(int argc, char **argv)
+{
+    return fp::bench::benchMain(argc, argv);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 10 renderer: average ORAM tree path length and average DRAM
+ * latency per ORAM request, merging+scheduling vs. traditional Path
+ * ORAM, as the label queue size sweeps the spec's `queues` list.
+ * Data (mix, queue sizes, request count) lives in
+ * experiments/fig10.json.
+ */
+
+#include "core/overlap.hh"
+#include "mem/tree_geometry.hh"
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig10Scenario()
+{
+    sim::registerScenario("fig10", [](sim::ScenarioContext &ctx) {
+        ctx.banner(
+            "Figure 10: path length and DRAM latency vs label queue "
+            "size",
+            "baseline 25 buckets; merging shrinks path ~linearly in "
+            "log2(queue); DRAM latency drops faster than path "
+            "length");
+
+        const auto &cfg = ctx.base;
+        mem::TreeGeometry geo(ctx.leafLevel());
+        const std::vector<unsigned> queues =
+            asUnsigned(ctx.spec.paramUintList("queues"));
+
+        std::vector<sim::SweepPoint> points;
+        points.push_back(sim::pointFromMix(
+            "traditional", sim::withTraditional(cfg), ctx.mixes[0]));
+        for (unsigned q : queues) {
+            points.push_back(sim::pointFromMix(
+                "merge q=" + std::to_string(q),
+                sim::withMergeOnly(cfg, q), ctx.mixes[0]));
+        }
+        auto results = ctx.run(std::move(points));
+        const auto &trad = results[0];
+
+        TextTable table("Fig 10 (" + ctx.mixes[0] + ", L=" +
+                        std::to_string(ctx.leafLevel()) + ")");
+        table.setHeader({"config", "path_len", "analytic",
+                         "dram_latency_norm", "row_hit_rate"});
+        table.addRow({"traditional",
+                      TextTable::fmt(trad.avgReadPathLen, 2),
+                      TextTable::fmt(double(geo.numLevels()), 2),
+                      TextTable::fmt(1.0, 3),
+                      TextTable::fmt(trad.rowHitRate(), 3)});
+
+        for (std::size_t i = 0; i < queues.size(); ++i) {
+            const auto &r = results[1 + i];
+            // Analytic fetched length: L+1 - E[best-of-q overlap] + 1
+            // (the read starts at the retained level).
+            double analytic =
+                geo.numLevels() -
+                core::expectedBestOverlap(geo, queues[i]);
+            table.addRow(
+                {"merge q=" + std::to_string(queues[i]),
+                 TextTable::fmt(r.avgReadPathLen, 2),
+                 TextTable::fmt(analytic, 2),
+                 TextTable::fmt(r.avgDramServiceNs /
+                                    trad.avgDramServiceNs,
+                                3),
+                 TextTable::fmt(r.rowHitRate(), 3)});
+        }
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

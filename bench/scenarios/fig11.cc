@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 11 renderer: total ORAM requests (real + dummy) normalized
+ * to traditional Path ORAM, per Table 2 mix, for the spec's `queues`
+ * list. Data lives in experiments/fig11.json.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig11Scenario()
+{
+    sim::registerScenario("fig11", [](sim::ScenarioContext &ctx) {
+        ctx.banner(
+            "Figure 11: normalized total ORAM request count",
+            "average ~1.05x at queue 64-128; worst mixes (low "
+            "intensity, e.g. Mix2) exceed 1.25x");
+
+        const auto &cfg = ctx.base;
+        const std::vector<unsigned> queues =
+            asUnsigned(ctx.spec.paramUintList("queues"));
+
+        TextTable table("Fig 11 (total requests / traditional)");
+        std::vector<std::string> header = {"mix"};
+        for (unsigned q : queues)
+            header.push_back("q=" + std::to_string(q));
+        table.setHeader(header);
+
+        // One point per (mix, config): the traditional baseline then
+        // the queue-size variants, grouped by mix.
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/traditional", sim::withTraditional(cfg),
+                mix));
+            for (unsigned q : queues) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/q=" + std::to_string(q),
+                    sim::withMergeOnly(cfg, q), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 1 + queues.size();
+
+        std::vector<std::vector<double>> ratios(queues.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            const auto &trad = results[m * stride];
+            double base = static_cast<double>(trad.realAccesses +
+                                              trad.dummyAccesses);
+            std::vector<std::string> row = {ctx.mixes[m]};
+            for (std::size_t i = 0; i < queues.size(); ++i) {
+                const auto &r = results[m * stride + 1 + i];
+                double ratio = r.totalAccesses() / base;
+                ratios[i].push_back(ratio);
+                row.push_back(TextTable::fmt(ratio, 3));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean"};
+        for (const auto &series : ratios)
+            avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+        table.addRow(avg);
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 12 renderer: ORAM latency (completion time of an LLC request
+ * inside the ORAM controller, queueing included) normalized to
+ * traditional Path ORAM, per mix, for the spec's `queues` list. Data
+ * lives in experiments/fig12.json.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig12Scenario()
+{
+    sim::registerScenario("fig12", [](sim::ScenarioContext &ctx) {
+        ctx.banner(
+            "Figure 12: normalized ORAM latency vs label queue size",
+            "improves with queue size up to 64, degrades at 128; "
+            "queue 64 is the sweet spot");
+
+        const auto &cfg = ctx.base;
+        const std::vector<unsigned> queues =
+            asUnsigned(ctx.spec.paramUintList("queues"));
+
+        TextTable table("Fig 12 (ORAM latency / traditional)");
+        std::vector<std::string> header = {"mix", "traditional(ns)"};
+        for (unsigned q : queues)
+            header.push_back("q=" + std::to_string(q));
+        table.setHeader(header);
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/traditional", sim::withTraditional(cfg),
+                mix));
+            for (unsigned q : queues) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/q=" + std::to_string(q),
+                    sim::withMergeOnly(cfg, q), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 1 + queues.size();
+
+        std::vector<std::vector<double>> ratios(queues.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            const auto &trad = results[m * stride];
+            std::vector<std::string> row = {
+                ctx.mixes[m],
+                TextTable::fmt(trad.avgLlcLatencyNs, 0)};
+            for (std::size_t i = 0; i < queues.size(); ++i) {
+                const auto &r = results[m * stride + 1 + i];
+                double ratio =
+                    r.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+                ratios[i].push_back(ratio);
+                row.push_back(TextTable::fmt(ratio, 3));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean", "-"};
+        for (const auto &series : ratios)
+            avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+        table.addRow(avg);
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 13 renderer: ORAM latency of the caching designs, normalized
+ * to traditional Path ORAM. The design list (merge-only, MAC at three
+ * capacities, treetop) lives as points in experiments/fig13.json.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig13Scenario()
+{
+    sim::registerScenario("fig13", [](sim::ScenarioContext &ctx) {
+        ctx.banner("Figure 13: ORAM latency with caching designs",
+                   "MAC at ~1/4 capacity matches 1MB treetop; 1MB "
+                   "MAC is best overall");
+
+        const auto &cfg = ctx.base;
+        const auto &configs = ctx.spec.points;
+
+        TextTable table("Fig 13 (ORAM latency / traditional)");
+        std::vector<std::string> header = {"mix"};
+        for (const auto &c : configs)
+            header.push_back(c.name);
+        table.setHeader(header);
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/traditional", sim::withTraditional(cfg),
+                mix));
+            for (const auto &c : configs) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/" + c.name, ctx.pointConfig(c), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 1 + configs.size();
+
+        std::vector<std::vector<double>> ratios(configs.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            const auto &trad = results[m * stride];
+            std::vector<std::string> row = {ctx.mixes[m]};
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                const auto &r = results[m * stride + 1 + i];
+                double ratio =
+                    r.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+                ratios[i].push_back(ratio);
+                row.push_back(TextTable::fmt(ratio, 3));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean"};
+        for (const auto &series : ratios)
+            avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+        table.addRow(avg);
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 14 renderer: slowdown of full-system execution time relative
+ * to the insecure processor (no ORAM). The configuration list lives
+ * as points in experiments/fig14.json; the headline summary compares
+ * the spec's `headline` / `headline-baselines` pairs.
+ */
+
+#include <algorithm>
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+namespace
+{
+
+std::size_t
+configIndex(const sim::ScenarioContext &ctx, const std::string &name)
+{
+    const auto &configs = ctx.spec.points;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].name == name)
+            return i;
+    }
+    sim::specFail(ctx.spec.source, ctx.spec.params,
+                  "headline comparison references unknown point \"" +
+                      name + "\"");
+}
+
+} // namespace
+
+void
+registerFig14Scenario()
+{
+    sim::registerScenario("fig14", [](sim::ScenarioContext &ctx) {
+        ctx.banner(
+            "Figure 14: full-system slowdown vs insecure processor",
+            "merge+1M MAC cuts execution time ~58% vs traditional "
+            "ORAM, ~29% vs 1MB treetop");
+
+        const auto &cfg = ctx.base;
+        const auto &configs = ctx.spec.points;
+
+        TextTable table("Fig 14 (execution time / insecure)");
+        std::vector<std::string> header = {"mix"};
+        for (const auto &c : configs)
+            header.push_back(c.name);
+        table.setHeader(header);
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/insecure", sim::withInsecure(cfg), mix));
+            for (const auto &c : configs) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/" + c.name, ctx.pointConfig(c), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 1 + configs.size();
+
+        std::vector<std::vector<double>> slowdowns(configs.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            const auto &insecure = results[m * stride];
+            auto base =
+                static_cast<double>(insecure.executionTicks);
+            std::vector<std::string> row = {ctx.mixes[m]};
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                const auto &r = results[m * stride + 1 + i];
+                double s =
+                    static_cast<double>(r.executionTicks) / base;
+                slowdowns[i].push_back(s);
+                row.push_back(TextTable::fmt(s, 2));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean"};
+        std::vector<double> geo(configs.size());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            geo[i] = sim::geomean(slowdowns[i]);
+            avg.push_back(TextTable::fmt(geo[i], 2));
+        }
+        table.addRow(avg);
+        ctx.emit(table);
+
+        // Headline pairs: "<subject> vs <baseline>", reduction in
+        // execution time, from the spec's parallel name lists.
+        const auto subjects = ctx.spec.paramStrList("headline");
+        const auto baselines =
+            ctx.spec.paramStrList("headline-baselines");
+        if (subjects.size() != baselines.size())
+            sim::specFail(ctx.spec.source, ctx.spec.params,
+                          "params.headline and "
+                          "params.headline-baselines must be the "
+                          "same length");
+
+        TextTable summary("headline reductions in execution time");
+        summary.setHeader({"comparison", "reduction"});
+        for (std::size_t i = 0; i < subjects.size(); ++i) {
+            const double subject = geo[configIndex(ctx, subjects[i])];
+            const double baseline =
+                geo[configIndex(ctx, baselines[i])];
+            summary.addRow(
+                {subjects[i] + " vs " + baselines[i],
+                 TextTable::fmt(100.0 * (1.0 - subject / baseline),
+                                1) +
+                     " %"});
+        }
+        ctx.emit(summary);
+    });
+}
+
+} // namespace fp::bench

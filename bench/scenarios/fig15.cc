@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 15 renderer: total energy of the ORAM memory system (DRAM +
+ * controller structures) normalized to traditional Path ORAM. The
+ * configuration list lives as points in experiments/fig15.json.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig15Scenario()
+{
+    sim::registerScenario("fig15", [](sim::ScenarioContext &ctx) {
+        ctx.banner("Figure 15: normalized ORAM memory-system energy",
+                   "merge+1M MAC saves ~38% vs traditional and ~15% "
+                   "vs 1MB treetop");
+
+        const auto &cfg = ctx.base;
+        const auto &configs = ctx.spec.points;
+
+        TextTable table("Fig 15 (energy / traditional)");
+        std::vector<std::string> header = {"mix", "trad_mJ"};
+        for (const auto &c : configs)
+            header.push_back(c.name);
+        table.setHeader(header);
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/traditional", sim::withTraditional(cfg),
+                mix));
+            for (const auto &c : configs) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/" + c.name, ctx.pointConfig(c), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 1 + configs.size();
+
+        std::vector<std::vector<double>> ratios(configs.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            const auto &trad = results[m * stride];
+            std::vector<std::string> row = {
+                ctx.mixes[m],
+                TextTable::fmt(trad.totalEnergyNj() / 1e6, 2)};
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                const auto &r = results[m * stride + 1 + i];
+                double ratio =
+                    r.totalEnergyNj() / trad.totalEnergyNj();
+                ratios[i].push_back(ratio);
+                row.push_back(TextTable::fmt(ratio, 3));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean", "-"};
+        for (const auto &series : ratios)
+            avg.push_back(TextTable::fmt(sim::geomean(series), 3));
+        table.addRow(avg);
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

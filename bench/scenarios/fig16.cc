@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 16 renderer: in-order vs out-of-order cores, each variant
+ * normalized to its own traditional baseline, geomean over the mixes.
+ * The variant list, mix subset and in-order queue sweep live in
+ * experiments/fig16.json.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+namespace
+{
+
+std::vector<double>
+seriesFor(const sim::ScenarioContext &ctx, sim::SimConfig cfg,
+          unsigned outstanding)
+{
+    cfg.maxOutstanding = outstanding;
+
+    std::vector<sim::SimConfig> variants;
+    for (const auto &point : ctx.spec.points) {
+        auto v = ctx.pointConfig(point);
+        v.maxOutstanding = outstanding;
+        variants.push_back(std::move(v));
+    }
+    auto trad_cfg = sim::withTraditional(cfg);
+    trad_cfg.maxOutstanding = outstanding;
+
+    std::vector<sim::SweepPoint> points;
+    for (const auto &mix : ctx.mixes) {
+        points.push_back(
+            sim::pointFromMix(mix + "/traditional", trad_cfg, mix));
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            points.push_back(sim::pointFromMix(
+                mix + "/variant" + std::to_string(i), variants[i],
+                mix));
+        }
+    }
+    auto results = ctx.run(std::move(points));
+    const std::size_t stride = 1 + variants.size();
+
+    std::vector<std::vector<double>> ratios(variants.size());
+    for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+        const auto &trad = results[m * stride];
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const auto &r = results[m * stride + 1 + i];
+            ratios[i].push_back(r.avgLlcLatencyNs /
+                                trad.avgLlcLatencyNs);
+        }
+    }
+    std::vector<double> out;
+    for (const auto &series : ratios)
+        out.push_back(sim::geomean(series));
+    return out;
+}
+
+} // namespace
+
+void
+registerFig16Scenario()
+{
+    sim::registerScenario("fig16", [](sim::ScenarioContext &ctx) {
+        ctx.banner("Figure 16: in-order vs out-of-order",
+                   "in-order ORAM latency is significantly higher "
+                   "(more dummy requests); smaller queues suit "
+                   "in-order");
+
+        const auto &cfg = ctx.base;
+
+        TextTable table(
+            "Fig 16 (latency / own traditional, geomean)");
+        std::vector<std::string> header = {"core"};
+        for (const auto &point : ctx.spec.points)
+            header.push_back(point.name);
+        table.setHeader(header);
+        auto emitRow = [&](const std::string &name,
+                           const std::vector<double> &v) {
+            std::vector<std::string> row = {name};
+            for (double x : v)
+                row.push_back(TextTable::fmt(x, 3));
+            table.addRow(row);
+        };
+        emitRow("out-of-order", seriesFor(ctx, cfg, 16));
+        emitRow("in-order", seriesFor(ctx, cfg, 1));
+        ctx.emit(table);
+
+        // The paper's remark: a smaller queue helps in-order cores.
+        TextTable q("in-order merge-only latency vs queue size");
+        q.setHeader({"queue", "latency/traditional"});
+        auto in_cfg = cfg;
+        in_cfg.maxOutstanding = 1;
+        const std::vector<unsigned> queue_sizes =
+            asUnsigned(ctx.spec.paramUintList("inorder-queues"));
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            points.push_back(sim::pointFromMix(
+                mix + "/in-order traditional",
+                sim::withTraditional(in_cfg), mix));
+        }
+        for (unsigned qs : queue_sizes) {
+            for (const auto &mix : ctx.mixes) {
+                points.push_back(sim::pointFromMix(
+                    mix + "/in-order q=" + std::to_string(qs),
+                    sim::withMergeOnly(in_cfg, qs), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t nmixes = ctx.mixes.size();
+
+        for (std::size_t qi = 0; qi < queue_sizes.size(); ++qi) {
+            std::vector<double> ratios;
+            for (std::size_t i = 0; i < nmixes; ++i) {
+                const auto &r = results[nmixes * (1 + qi) + i];
+                ratios.push_back(r.avgLlcLatencyNs /
+                                 results[i].avgLlcLatencyNs);
+            }
+            q.addRow({std::to_string(queue_sizes[qi]),
+                      TextTable::fmt(sim::geomean(ratios), 3)});
+        }
+        ctx.emit(q);
+    });
+}
+
+} // namespace fp::bench

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 18 renderer: speedup of ORAM latency (traditional / Fork
+ * Path) across DRAM channel counts, per mix. The channel list and mix
+ * subset live in experiments/fig18.json.
+ */
+
+#include "dram/dram_params.hh"
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig18Scenario()
+{
+    sim::registerScenario("fig18", [](sim::ScenarioContext &ctx) {
+        ctx.banner(
+            "Figure 18: ORAM latency speedup vs DRAM channels",
+            "speedup is largest at 1 channel and shrinks as channels "
+            "are added");
+
+        const auto &base = ctx.base;
+        const std::vector<unsigned> channels =
+            asUnsigned(ctx.spec.paramUintList("channels"));
+
+        TextTable table(
+            "Fig 18 (traditional latency / fork latency)");
+        std::vector<std::string> header = {"mix"};
+        for (unsigned ch : channels)
+            header.push_back(std::to_string(ch) + "-channel");
+        table.setHeader(header);
+
+        std::vector<sim::SweepPoint> points;
+        for (const auto &mix : ctx.mixes) {
+            for (unsigned ch : channels) {
+                auto cfg = base;
+                cfg.dram = dram::DramParams::ddr3_1600(ch);
+                std::string tag =
+                    mix + "/" + std::to_string(ch) + "ch";
+                points.push_back(sim::pointFromMix(
+                    tag + "/traditional", sim::withTraditional(cfg),
+                    mix));
+                points.push_back(sim::pointFromMix(
+                    tag + "/fork",
+                    sim::withMergeMac(cfg, 1 << 20, 64), mix));
+            }
+        }
+        auto results = ctx.run(std::move(points));
+        const std::size_t stride = 2 * channels.size();
+
+        std::vector<std::vector<double>> speedups(channels.size());
+        for (std::size_t m = 0; m < ctx.mixes.size(); ++m) {
+            std::vector<std::string> row = {ctx.mixes[m]};
+            for (std::size_t i = 0; i < channels.size(); ++i) {
+                const auto &trad = results[m * stride + 2 * i];
+                const auto &fork = results[m * stride + 2 * i + 1];
+                double speedup =
+                    trad.avgLlcLatencyNs / fork.avgLlcLatencyNs;
+                speedups[i].push_back(speedup);
+                row.push_back(TextTable::fmt(speedup, 2));
+            }
+            table.addRow(row);
+        }
+
+        std::vector<std::string> avg = {"geomean"};
+        for (const auto &series : speedups)
+            avg.push_back(TextTable::fmt(sim::geomean(series), 2));
+        table.addRow(avg);
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 19 renderer: ORAM latency of 4-thread PARSEC-like
+ * multi-threaded workloads, merge + 1 MB MAC normalized to
+ * traditional Path ORAM. Driven by experiments/fig19.json.
+ */
+
+#include "scenarios/scenarios.hh"
+#include "workload/parsec_profiles.hh"
+
+namespace fp::bench
+{
+
+void
+registerFig19Scenario()
+{
+    sim::registerScenario("fig19", [](sim::ScenarioContext &ctx) {
+        ctx.banner("Figure 19: PARSEC-like multithreaded workloads "
+                   "(4 threads)",
+                   "latency reduced significantly across workloads; "
+                   "win scales with memory intensity");
+
+        auto cfg = ctx.base;
+        cfg.cores = 4;
+
+        TextTable table("Fig 19 (ORAM latency / traditional)");
+        table.setHeader({"workload", "traditional(ns)",
+                         "merge+1M_MAC", "dummy_frac"});
+
+        const auto names = workload::parsecNames();
+        std::vector<sim::SweepPoint> points;
+        for (const auto &name : names) {
+            points.push_back(sim::pointFromParsec(
+                name + "/traditional", sim::withTraditional(cfg),
+                name));
+            points.push_back(sim::pointFromParsec(
+                name + "/fork", sim::withMergeMac(cfg, 1 << 20, 64),
+                name));
+        }
+        auto results = ctx.run(std::move(points));
+
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &trad = results[2 * i];
+            const auto &fork = results[2 * i + 1];
+            double ratio =
+                fork.avgLlcLatencyNs / trad.avgLlcLatencyNs;
+            ratios.push_back(ratio);
+            table.addRow(
+                {names[i], TextTable::fmt(trad.avgLlcLatencyNs, 0),
+                 TextTable::fmt(ratio, 3),
+                 TextTable::fmt(
+                     static_cast<double>(fork.dummyAccesses) /
+                         fork.totalAccesses(),
+                     3)});
+        }
+        table.addRow({"geomean", "-",
+                      TextTable::fmt(sim::geomean(ratios), 3), "-"});
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

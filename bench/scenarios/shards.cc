@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shards renderer: throughput versus shard count for the sharded
+ * ORAM front-end (core::ShardedOram), on both memory backends. The
+ * shard-count ladder and backend list live in
+ * experiments/shards.json.
+ *
+ * A single controller serializes every access behind one backend
+ * pipe; sharding gives each partition its own tree and its own pipe,
+ * so aggregate throughput should rise with the shard count until the
+ * cores (not the memory) are the bottleneck.
+ */
+
+#include "scenarios/scenarios.hh"
+
+namespace fp::bench
+{
+
+namespace
+{
+
+/** LLC requests per millisecond of simulated time. */
+double
+throughputPerMs(const sim::RunResult &r)
+{
+    if (r.executionTicks == 0)
+        return 0.0;
+    // 1 tick = 1 ps; 1e9 ticks = 1 ms.
+    return static_cast<double>(r.llcRequests) /
+           (static_cast<double>(r.executionTicks) / 1e9);
+}
+
+} // namespace
+
+void
+registerShardsScenario()
+{
+    sim::registerScenario("shards", [](sim::ScenarioContext &ctx) {
+        ctx.banner("Shard scaling (throughput vs shard count)",
+                   "n/a — sharded front-end analysis, not a paper "
+                   "figure");
+
+        const std::string mix = ctx.spec.paramStr("mix", "Mix3");
+        const std::vector<unsigned> shard_counts =
+            asUnsigned(ctx.spec.paramUintList("shard-counts"));
+        const auto backend_names =
+            ctx.spec.paramStrList("backends");
+        const auto queue = static_cast<unsigned>(
+            ctx.spec.paramUint("queue", 64));
+
+        std::vector<sim::SweepPoint> points;
+        std::vector<std::string> names;
+        for (const auto &be : backend_names) {
+            for (unsigned shards : shard_counts) {
+                sim::SimConfig cfg =
+                    sim::withMergeOnly(ctx.base, queue);
+                cfg.backendKind = sim::parseBackendKind(be);
+                cfg.shards = shards;
+                std::string name =
+                    be + "_s" + std::to_string(shards);
+                names.push_back(name);
+                points.push_back(
+                    sim::pointFromMix(std::move(name), cfg, mix));
+            }
+        }
+
+        auto results = ctx.run(std::move(points));
+
+        TextTable table("throughput vs shards (" + mix +
+                        ", merge q" + std::to_string(queue) +
+                        ", requests=" +
+                        std::to_string(ctx.requests()) + ", leaf=" +
+                        std::to_string(ctx.leafLevel()) + ")");
+        table.setHeader({"point", "shards", "exec_ticks", "llc_ns",
+                         "req_per_ms", "speedup_vs_s1"});
+        std::size_t i = 0;
+        for (const auto &be : backend_names) {
+            (void)be;
+            double base_tput = 0.0;
+            for (unsigned shards : shard_counts) {
+                const auto &r = results[i];
+                const double tput = throughputPerMs(r);
+                if (shards == 1)
+                    base_tput = tput;
+                table.addRow(
+                    {names[i],
+                     TextTable::fmt(std::uint64_t{shards}),
+                     TextTable::fmt(std::uint64_t{r.executionTicks}),
+                     TextTable::fmt(r.avgLlcLatencyNs, 1),
+                     TextTable::fmt(tput, 2),
+                     TextTable::fmt(
+                         base_tput > 0.0 ? tput / base_tput : 0.0,
+                         2)});
+                ++i;
+            }
+        }
+        ctx.emit(table);
+    });
+}
+
+} // namespace fp::bench

@@ -1,6 +1,7 @@
 #include "sim/metrics.hh"
 
 #include <cmath>
+#include <cstdio>
 
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -48,8 +49,17 @@ std::string
 toJson(const RunResult &r)
 {
     JsonWriter w;
-    w.beginObject()
-        .field("hit_tick_limit", r.hitTickLimit)
+    w.beginObject();
+    if (!r.specName.empty()) {
+        // Provenance block, present only for spec-driven runs so
+        // results produced outside the experiment-spec runtime stay
+        // byte-identical to the historical format.
+        char hash[24];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(r.specHash));
+        w.field("spec_name", r.specName).field("spec_hash", hash);
+    }
+    w.field("hit_tick_limit", r.hitTickLimit)
         .field("execution_ticks", std::uint64_t{r.executionTicks})
         .field("avg_llc_latency_ns", r.avgLlcLatencyNs)
         .field("avg_read_path_len", r.avgReadPathLen)

@@ -45,6 +45,15 @@ struct RunResult
      *  all fields below describe the truncated prefix of the run. */
     bool hitTickLimit = false;
 
+    // Provenance. Stamped by the experiment-spec runtime
+    // (sim::ScenarioContext) when the run came from a spec file;
+    // empty otherwise. Serialised to JSON only when stamped, so
+    // results produced outside the spec layer (tests, examples,
+    // direct System runs) stay byte-identical to the historical
+    // format.
+    std::string specName;  //!< ExperimentSpec::name of the spec run.
+    std::uint64_t specHash = 0; //!< FNV-1a of the spec file bytes.
+
     // Timing.
     Tick executionTicks = 0;      //!< Slowest core's finish time.
     double avgLlcLatencyNs = 0.0; //!< The paper's "ORAM latency".

@@ -64,18 +64,40 @@ applyObsFlags(SimConfig &cfg, const CliArgs &args)
     }
 }
 
+BackendKind
+parseBackendKind(const std::string &name)
+{
+    if (name == "dram")
+        return BackendKind::dram;
+    if (name == "net")
+        return BackendKind::net;
+    fp_fatal("unknown backend '%s' (dram|net)", name.c_str());
+}
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::dram:
+        return "dram";
+      case BackendKind::net:
+        return "net";
+    }
+    fp_panic("unreachable backend kind");
+}
+
+std::vector<std::string>
+backendKindNames()
+{
+    return {"dram", "net"};
+}
+
 void
 applyBackendFlags(SimConfig &cfg, const CliArgs &args)
 {
     if (args.has("backend")) {
-        std::string kind = args.getString("backend", "dram");
-        if (kind == "dram")
-            cfg.backendKind = BackendKind::dram;
-        else if (kind == "net")
-            cfg.backendKind = BackendKind::net;
-        else
-            fp_fatal("unknown --backend '%s' (dram|net)",
-                     kind.c_str());
+        cfg.backendKind =
+            parseBackendKind(args.getString("backend", "dram"));
     }
     cfg.net.oneWayLatencyUs =
         args.getDouble("net-latency-us", cfg.net.oneWayLatencyUs);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/oram_controller.hh"
 #include "dram/dram_params.hh"
@@ -59,6 +60,16 @@ enum class BackendKind
     dram, //!< The DDR3 timing model (the paper's configuration).
     net,  //!< mem::NetBackend: a remote/cloud store model.
 };
+
+/** Parse a backend name ("dram", "net"); unknown names are fatal
+ *  with the list of valid ones. */
+BackendKind parseBackendKind(const std::string &name);
+
+/** The registry name of @p kind. */
+const char *backendKindName(BackendKind kind);
+
+/** Every registered backend name, in registry order. */
+std::vector<std::string> backendKindNames();
 
 struct SimConfig
 {

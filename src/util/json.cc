@@ -1,5 +1,6 @@
 #include "util/json.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -244,16 +245,24 @@ class JsonParser
     value()
     {
         skipWs();
+        const std::size_t start = pos_;
         char c = peek();
         switch (c) {
-          case '{':
-            return object();
-          case '[':
-            return array();
+          case '{': {
+            JsonValue v = object();
+            v.srcOffset_ = start;
+            return v;
+          }
+          case '[': {
+            JsonValue v = array();
+            v.srcOffset_ = start;
+            return v;
+          }
           case '"': {
             JsonValue v;
             v.type_ = JsonValue::Type::string;
             v.str_ = string();
+            v.srcOffset_ = start;
             return v;
           }
           case 't': {
@@ -262,6 +271,7 @@ class JsonParser
             JsonValue v;
             v.type_ = JsonValue::Type::boolean;
             v.bool_ = true;
+            v.srcOffset_ = start;
             return v;
           }
           case 'f': {
@@ -270,15 +280,21 @@ class JsonParser
             JsonValue v;
             v.type_ = JsonValue::Type::boolean;
             v.bool_ = false;
+            v.srcOffset_ = start;
             return v;
           }
           case 'n': {
             fp_assert(consumeLiteral("null"),
                       "JSON: bad literal at offset %zu", pos_);
-            return JsonValue{};
+            JsonValue v;
+            v.srcOffset_ = start;
+            return v;
           }
-          default:
-            return number();
+          default: {
+            JsonValue v = number();
+            v.srcOffset_ = start;
+            return v;
+          }
         }
     }
 
@@ -445,6 +461,18 @@ JsonValue
 JsonValue::parse(const std::string &text)
 {
     return JsonParser(text).document();
+}
+
+std::size_t
+jsonLineOf(const std::string &text, std::size_t offset)
+{
+    std::size_t line = 1;
+    const std::size_t end = std::min(offset, text.size());
+    for (std::size_t i = 0; i < end; ++i) {
+        if (text[i] == '\n')
+            ++line;
+    }
+    return line;
 }
 
 bool

@@ -96,6 +96,15 @@ class JsonValue
     const std::vector<std::pair<std::string, JsonValue>> &
     members() const;
 
+    /**
+     * Byte offset of this node's first character in the parsed
+     * document (0 for values built outside the parser). Consumers
+     * that validate documents semantically (e.g. experiment-spec
+     * parsing) turn it into a line number via jsonLineOf for
+     * human-facing error messages.
+     */
+    std::size_t sourceOffset() const { return srcOffset_; }
+
     /** Object member lookup; nullptr when absent or not an object. */
     const JsonValue *find(const std::string &key) const;
     /** Object member access; panics when absent. */
@@ -116,12 +125,17 @@ class JsonValue
     Type type_ = Type::null;
     bool bool_ = false;
     double num_ = 0.0;
+    std::size_t srcOffset_ = 0;
     std::string str_;
     std::vector<JsonValue> arr_;
     std::vector<std::pair<std::string, JsonValue>> obj_;
 
     friend class JsonParser;
 };
+
+/** 1-based line number of byte @p offset within @p text (offsets past
+ *  the end land on the last line; an empty text is line 1). */
+std::size_t jsonLineOf(const std::string &text, std::size_t offset);
 
 } // namespace fp
 

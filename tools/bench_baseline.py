@@ -30,7 +30,10 @@ import sys
 #: compare run-over-run, and together covering timing (ticks,
 #: latency), fork-path effectiveness (path length, buckets) and
 #: request accounting (an access-count change means the pipeline
-#: itself changed, not just its speed).
+#: itself changed, not just its speed). The comparison reads ONLY
+#: these keys, so provenance fields added by spec-driven runs
+#: (spec_name / spec_hash) and any future RunResult additions never
+#: trip the gate or force a baseline reseed.
 GATED_METRICS = (
     "execution_ticks",
     "avg_llc_latency_ns",

@@ -117,6 +117,10 @@ def render_run_result(name, result):
             f"path_len={fmt(result['avg_read_path_len'], 2)}  "
             f"real={result['real_accesses']}  "
             f"dummy={result['dummy_accesses']}")
+    # Spec-driven runs stamp their provenance (fp_bench / wrappers).
+    if "spec_name" in result:
+        head += (f"\nspec={result['spec_name']}"
+                 f"  spec_hash={result.get('spec_hash', '?')}")
     body = render_profile(name, prof["completed_requests"],
                           prof["stages"], prof["effectiveness"])
     return body.replace(f"### {name}\n", f"### {name}\n{head}\n", 1)

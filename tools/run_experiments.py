@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Run every committed experiment spec in smoke mode (stdlib only).
+
+The CI `experiment-specs` job runs this script. For each
+experiments/*.json it launches the fp_bench driver with the spec's
+own `smoke.args` (each spec declares how to shrink itself to CI
+scale), validates the emitted Chrome trace with validate_trace.py
+when the spec sets `smoke.trace`, and finally checks coverage: every
+spec file ran, and every registered scenario (fp_bench
+--list-scenarios) is exercised by at least one committed spec.
+
+    tools/run_experiments.py                       # all specs
+    tools/run_experiments.py --only fig10,smoke    # subset
+    tools/run_experiments.py --bench build/bench/fp_bench
+
+Exit status 0 when every spec ran clean; 1 with a per-spec report
+otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+
+def fail(msg):
+    sys.exit(f"run_experiments: FAIL: {msg}")
+
+
+def spec_files(exp_dir):
+    if not os.path.isdir(exp_dir):
+        fail(f"experiments directory '{exp_dir}' not found")
+    return sorted(
+        os.path.join(exp_dir, f)
+        for f in os.listdir(exp_dir)
+        if f.endswith(".json"))
+
+
+def run_spec(bench, path, workdir, keep_going):
+    with open(path) as f:
+        spec = json.load(f)
+    name = spec.get("name", os.path.basename(path))
+    smoke = spec.get("smoke", {})
+    args = list(smoke.get("args", []))
+    want_trace = bool(smoke.get("trace", True))
+
+    trace_path = None
+    if want_trace:
+        # All sweep points share one --trace-out file; concurrent
+        # writers would interleave and corrupt it, so trace-validated
+        # runs are pinned to a single job.
+        args = [a for a in args if not a.startswith("--jobs")]
+        args.append("--jobs=1")
+    cmd = [bench, path] + args
+    if want_trace:
+        trace_path = os.path.join(workdir, f"{name}.trace.json")
+        cmd.append(f"--trace-out={trace_path}")
+
+    print(f"run_experiments: {name}: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, cwd=workdir, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(f"run_experiments: {name}: exit {proc.returncode}")
+        return False
+    if not proc.stdout.strip():
+        print(f"run_experiments: {name}: produced no stdout")
+        return False
+
+    if trace_path is not None:
+        if not os.path.exists(trace_path):
+            print(f"run_experiments: {name}: no trace written "
+                  f"(smoke.trace is true but --trace-out produced "
+                  f"nothing)")
+            return False
+        check = subprocess.run(
+            [sys.executable, os.path.join(HERE, "validate_trace.py"),
+             "--trace", trace_path],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        if check.returncode != 0:
+            print(check.stdout)
+            print(f"run_experiments: {name}: trace validation failed")
+            return False
+    return True
+
+
+def coverage(bench, paths):
+    """Every registered scenario must be exercised by some spec."""
+    out = subprocess.run([bench, "--list-scenarios"],
+                         stdout=subprocess.PIPE, text=True)
+    if out.returncode != 0:
+        fail("fp_bench --list-scenarios failed")
+    scenarios = set(out.stdout.split())
+    covered = set()
+    for path in paths:
+        with open(path) as f:
+            spec = json.load(f)
+        covered.add(spec.get("scenario", spec.get("name")))
+    missing = sorted(scenarios - covered)
+    if missing:
+        fail(f"scenarios with no committed spec: {', '.join(missing)}"
+             f" (add experiments/<name>.json or drop the scenario)")
+    print(f"run_experiments: coverage OK "
+          f"({len(scenarios)} scenarios, {len(paths)} specs)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench",
+                    default=os.path.join(ROOT, "build", "bench",
+                                         "fp_bench"),
+                    help="fp_bench binary (default: build/bench/)")
+    ap.add_argument("--experiments",
+                    default=os.path.join(ROOT, "experiments"),
+                    help="spec directory (default: experiments/)")
+    ap.add_argument("--only",
+                    help="comma-separated spec names to run")
+    ap.add_argument("--keep-going", action="store_true",
+                    help="run every spec even after a failure")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bench):
+        fail(f"bench binary '{args.bench}' not found (build first)")
+
+    paths = spec_files(args.experiments)
+    if args.only:
+        wanted = set(args.only.split(","))
+        paths = [p for p in paths
+                 if os.path.splitext(os.path.basename(p))[0]
+                 in wanted]
+        if not paths:
+            fail(f"--only matched no specs in {args.experiments}")
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="fp_experiments.") as wd:
+        for path in paths:
+            if not run_spec(args.bench, path, wd, args.keep_going):
+                failures.append(os.path.basename(path))
+                if not args.keep_going:
+                    break
+
+    if failures:
+        fail(f"{len(failures)} spec(s) failed: {', '.join(failures)}")
+    if not args.only:
+        coverage(args.bench, paths)
+    print(f"run_experiments: OK ({len(paths)} specs)")
+
+
+if __name__ == "__main__":
+    main()
